@@ -1,0 +1,46 @@
+"""Ablation: the assurance level beta.
+
+beta trades bytes for decode failures: a higher beta inflates a* (and
+the IBLT) but pushes Protocol 1 failures down.  The paper fixes
+beta = 239/240 throughout; this bench shows what moving it does.
+"""
+
+from __future__ import annotations
+
+from repro.chain.scenarios import make_block_scenario
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+
+BETAS = (1 - 1 / 24, 1 - 1 / 240, 1 - 1 / 2400)
+N, EXTRA, TRIALS = 500, 500, 120
+
+
+def _sweep():
+    rows = []
+    for beta in BETAS:
+        config = GrapheneConfig(beta=beta)
+        failures = 0
+        total = 0
+        for t in range(TRIALS):
+            sc = make_block_scenario(n=N, extra=EXTRA, fraction=1.0,
+                                     seed=8000 + t)
+            payload = build_protocol1(sc.block.txs, sc.m, config)
+            total += payload.wire_size()
+            result = receive_protocol1(payload, sc.receiver_mempool, config,
+                                       validate_block=sc.block)
+            if not result.success:
+                failures += 1
+        rows.append({"beta": beta, "avg_bytes": total / TRIALS,
+                     "failure_rate": failures / TRIALS, "trials": TRIALS})
+    return rows
+
+
+def test_ablation_beta(benchmark, record_rows):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_rows("ablation_beta", rows)
+
+    sizes = [row["avg_bytes"] for row in rows]
+    assert sizes == sorted(sizes)  # stricter assurance costs more bytes
+    # Even the loosest beta keeps small-sample failures rare; the paper
+    # default keeps them essentially absent.
+    assert rows[1]["failure_rate"] <= 2 / TRIALS

@@ -1,0 +1,72 @@
+"""Extension: CPISync vs IBLT vs Graphene — the section 2.1 trade-off.
+
+"Several approaches involve more computation but are smaller in size"
+(Minsky-Trachtenberg CPI among them); "our focus is on IBLTs because
+they are balanced: minimal computational costs and small size."  This
+bench quantifies both axes on identical reconciliation tasks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.pds.cpisync import cpisync_size_bytes, make_digest, reconcile
+from repro.pds.iblt import IBLT
+from repro.pds.param_table import default_param_table
+
+DIFF_SIZES = (10, 30, 100)
+SHARED = 300
+
+
+def _task(diff, seed):
+    rng = random.Random(seed)
+    common = [rng.getrandbits(64) for _ in range(SHARED)]
+    a_only = [rng.getrandbits(64) for _ in range(diff // 2)]
+    b_only = [rng.getrandbits(64) for _ in range(diff - diff // 2)]
+    return common, a_only, b_only
+
+
+def _sweep():
+    table = default_param_table(240)
+    rows = []
+    for diff in DIFF_SIZES:
+        common, a_only, b_only = _task(diff, seed=diff)
+
+        start = time.perf_counter()
+        digest = make_digest(common + a_only, mbar=diff)
+        remote, local = reconcile(digest, common + b_only)
+        cpisync_seconds = time.perf_counter() - start
+        assert remote == frozenset(a_only) and local == frozenset(b_only)
+
+        params = table.params_for(diff)
+        start = time.perf_counter()
+        mine = IBLT(params.cells, k=params.k, seed=1)
+        theirs = IBLT(params.cells, k=params.k, seed=1)
+        mine.update(common + a_only)
+        theirs.update(common + b_only)
+        result = mine.subtract(theirs).decode()
+        iblt_seconds = time.perf_counter() - start
+        assert result.complete
+
+        rows.append({
+            "diff": diff,
+            "cpisync_bytes": cpisync_size_bytes(diff),
+            "iblt_bytes": 12 + params.cells * 12,
+            "cpisync_seconds": cpisync_seconds,
+            "iblt_seconds": iblt_seconds,
+        })
+    return rows
+
+
+def test_extension_cpisync(benchmark, record_rows):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_rows("extension_cpisync", rows)
+
+    for row in rows:
+        # CPISync: fewer bytes...
+        assert row["cpisync_bytes"] < row["iblt_bytes"], row
+    # ...but markedly more CPU at larger differences (the balance the
+    # paper cites for choosing IBLTs).
+    big = rows[-1]
+    assert big["cpisync_seconds"] > 3 * big["iblt_seconds"], big

@@ -1,0 +1,38 @@
+"""Extension: the fork-rate argument of the paper's introduction.
+
+Not a numbered figure -- this operationalizes section 1's motivation:
+smaller encodings propagate faster, fork less, and therefore admit
+larger blocks under a fixed fork budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.forks import fork_rate_curve
+from repro.net.node import RelayProtocol
+
+NET = dict(nodes=8, degree=3, bandwidth=120_000.0, latency=0.05, seed=11)
+
+
+def test_extension_fork_rate(benchmark, record_rows):
+    def sweep():
+        rows = []
+        for protocol in (RelayProtocol.GRAPHENE,
+                         RelayProtocol.COMPACT_BLOCKS,
+                         RelayProtocol.FULL_BLOCK):
+            rows.extend(fork_rate_curve(protocol,
+                                        block_sizes=(200, 1000, 4000),
+                                        **NET))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("extension_fork_rate", rows)
+
+    by_key = {(row["protocol"], row["n"]): row["fork_probability"]
+              for row in rows}
+    for n in (200, 1000, 4000):
+        assert by_key[("graphene", n)] <= by_key[("compact_blocks", n)]
+        assert by_key[("compact_blocks", n)] < by_key[("full_block", n)]
+    # Full blocks degrade sharply with size; Graphene barely moves.
+    graphene_growth = by_key[("graphene", 4000)] / by_key[("graphene", 200)]
+    full_growth = by_key[("full_block", 4000)] / by_key[("full_block", 200)]
+    assert full_growth > 3 * graphene_growth

@@ -1,0 +1,35 @@
+"""Fig. 10: size (cells) of optimally parameterized IBLTs.
+
+Paper result: optimal cell counts grow linearly in j (tau -> ~1.3-1.4
+for large j), with small-j discretization bumps; stricter decode rates
+cost more cells; the static k=4/tau=1.5 line sits *below* the optimal
+line for small j (that is why its decode rate fails in Fig. 7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig10_rows
+
+J_VALUES = (1, 2, 5, 10, 20, 50, 100, 200, 300, 500, 700, 1000)
+
+
+def test_fig10_sizes(benchmark, record_rows):
+    rows = benchmark.pedantic(lambda: fig10_rows(j_values=J_VALUES),
+                              rounds=1, iterations=1)
+    record_rows("fig10_iblt_size", rows)
+
+    for denom in (24, 240, 2400):
+        series = [row for row in rows
+                  if row["scheme"] == "optimal"
+                  and row["target_failure"] == 1.0 / denom]
+        cells = [row["cells"] for row in series]
+        assert cells == sorted(cells)  # monotone in j
+        # Large-j hedge factor in the peeling-threshold regime.
+        tail = series[-1]
+        assert 1.1 <= tail["cells"] / 1000 <= 2.2
+
+    # Stricter rates need at least as many cells, pointwise.
+    by_key = {(row["target_failure"], row["j"]): row["cells"]
+              for row in rows if row["scheme"] == "optimal"}
+    for j in J_VALUES:
+        assert by_key[(1 / 2400, j)] >= by_key[(1 / 24, j)]

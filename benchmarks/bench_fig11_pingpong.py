@@ -1,0 +1,31 @@
+"""Fig. 11: ping-pong decoding vs a single IBLT.
+
+Paper result: with a same-size sibling (i = j) the failure rate drops
+to ~(1/240)^2 or lower; even much smaller siblings help small j.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig11_rows
+
+J_VALUES = (10, 20, 50, 100)
+
+
+def test_fig11_pingpong(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig11_rows(j_values=J_VALUES,
+                           sibling_fractions=(0.25, 0.5, 1.0),
+                           trials=400),
+        rounds=1, iterations=1)
+    record_rows("fig11_pingpong", rows)
+
+    for j in J_VALUES:
+        single = next(row for row in rows
+                      if row["j"] == j and row["scheme"] == "single")
+        full_sibling = next(
+            row for row in rows
+            if row["j"] == j and row["scheme"] == "pingpong"
+            and row["sibling"] == j)
+        # The full-size sibling can only help (usually: dramatically).
+        assert (full_sibling["failure_rate"]
+                <= single["failure_rate"] + 0.01), j

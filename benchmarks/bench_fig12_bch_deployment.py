@@ -1,0 +1,32 @@
+"""Fig. 12: Protocol 1 vs XThin* as block size grows (BCH deployment).
+
+Paper result: XThin* grows at ~8 bytes/txn while Graphene grows much
+more slowly; at ~4500 txns XThin* is ~39 KB vs Graphene's a-few-KB.
+The deployment failure rate was 46/15647 ~ 0.003, within beta.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig12_rows
+
+BLOCK_SIZES = (50, 200, 500, 1000, 2000, 3000, 4000, 5000)
+
+
+def test_fig12_bch_deployment_shape(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig12_rows(block_sizes=BLOCK_SIZES, trials=3),
+        rounds=1, iterations=1)
+    record_rows("fig12_bch_deployment", rows)
+
+    for row in rows:
+        if row["n"] >= 500:
+            assert row["graphene_bytes"] < row["xthin_star_bytes"], row
+
+    # Graphene's growth is sublinear relative to XThin*'s 8 B/txn.
+    first, last = rows[1], rows[-1]
+    graphene_slope = ((last["graphene_bytes"] - first["graphene_bytes"])
+                      / (last["n"] - first["n"]))
+    assert graphene_slope < 8.0
+
+    # Large-block headline: an order-of-magnitude-ish advantage.
+    assert rows[-1]["graphene_bytes"] < 0.35 * rows[-1]["xthin_star_bytes"]

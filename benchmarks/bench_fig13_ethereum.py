@@ -1,0 +1,33 @@
+"""Fig. 13: Protocol 1 vs full blocks and the 8 B/txn ideal (Ethereum).
+
+Paper result (Geth replay, mempool pinned at 60k txns): Graphene is a
+small fraction of full blocks, and -- including transaction-ordering
+information, since Ethereum lacks CTOR -- tracks within a small factor
+of the idealized 8 bytes/txn Compact Blocks line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig13_rows
+
+BLOCK_SIZES = (25, 50, 100, 200, 400, 700, 1000)
+
+
+def test_fig13_ethereum_shape(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig13_rows(block_sizes=BLOCK_SIZES, trials=2),
+        rounds=1, iterations=1)
+    record_rows("fig13_ethereum", rows)
+
+    for row in rows:
+        assert row["graphene_bytes"] < row["full_block_bytes"], row
+
+    # For mid-size blocks Graphene (with ordering) stays within a small
+    # factor of the 8 B/txn ideal, and the m=60k mempool makes the Bloom
+    # filter the dominant cost -- unlike the tiny-mempool scenarios.
+    mid = [row for row in rows if row["n"] >= 200]
+    for row in mid:
+        assert row["graphene_bytes"] < 6 * row["ideal_8B_bytes"], row
+
+    # Ordering information grows superlinearly (paper 6.2).
+    assert rows[-1]["ordering_bytes"] > rows[0]["ordering_bytes"] * 40

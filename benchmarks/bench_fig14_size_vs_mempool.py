@@ -1,0 +1,36 @@
+"""Fig. 14: Protocol 1 size vs Compact Blocks as the mempool grows.
+
+Paper result: Graphene's advantage over Compact Blocks is substantial
+and improves with block size (200 / 2000 / 10000 txns); Graphene's
+cost grows *sublinearly* in the number of extra mempool transactions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig14_rows
+
+MULTIPLES = (0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+def test_fig14_size_vs_mempool(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig14_rows(multiples=MULTIPLES, trials=3),
+        rounds=1, iterations=1)
+    record_rows("fig14_size_vs_mempool", rows)
+
+    for row in rows:
+        assert row["graphene_bytes"] < row["compact_blocks_bytes"], row
+
+    for n in (200, 2000, 10000):
+        series = [row for row in rows if row["n"] == n]
+        # Sublinear growth: 10x more extra txns < 4x the cost.
+        half = next(r for r in series if r["multiple"] == 0.5)
+        five = next(r for r in series if r["multiple"] == 5.0)
+        assert five["graphene_bytes"] < 4 * half["graphene_bytes"], n
+
+    # Advantage improves with block size (ratio at multiple 1.0).
+    def ratio(n):
+        row = next(r for r in rows if r["n"] == n and r["multiple"] == 1.0)
+        return row["graphene_bytes"] / row["compact_blocks_bytes"]
+
+    assert ratio(10000) < ratio(200)

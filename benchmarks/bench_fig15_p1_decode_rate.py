@@ -1,0 +1,23 @@
+"""Fig. 15: Protocol 1 decode failure rate vs mempool size.
+
+Paper result: the observed failure rate sits at or below the targeted
+1 - beta = 1/240 line across block sizes and mempool multiples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig15_rows
+
+
+def test_fig15_p1_decode_rate(benchmark, record_rows):
+    trials = 250
+    rows = benchmark.pedantic(
+        lambda: fig15_rows(block_sizes=(200, 2000),
+                           multiples=(0.5, 1.0, 3.0), trials=trials),
+        rounds=1, iterations=1)
+    record_rows("fig15_p1_decode_rate", rows)
+
+    for row in rows:
+        # Small-sample tolerance: with 250 trials and target 1/240,
+        # observing more than 4 failures would be far outside bounds.
+        assert row["failure_rate"] * trials <= 4, row

@@ -1,0 +1,24 @@
+"""Fig. 16: Protocol 2 decode failure, with vs without ping-pong.
+
+Paper result: Protocol 2's decode rate already far exceeds its target;
+adding ping-pong decoding pushes failures down by orders of magnitude
+(simulations show near-100% success).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig16_rows
+
+
+def test_fig16_p2_decode_rate(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig16_rows(block_sizes=(200, 2000),
+                           fractions=(0.1, 0.5, 0.9), trials=60),
+        rounds=1, iterations=1)
+    record_rows("fig16_p2_decode_rate", rows)
+
+    for row in rows:
+        assert (row["failure_with_pingpong"]
+                <= row["failure_without_pingpong"] + 1e-9), row
+        # End-to-end failure after ping-pong is (near) zero.
+        assert row["failure_with_pingpong"] <= 0.05, row

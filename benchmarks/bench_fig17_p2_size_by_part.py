@@ -1,0 +1,40 @@
+"""Fig. 17: Protocol 2 cost, broken down by message type.
+
+Paper result: Graphene Extended (getdata + S + I + R + J) stays well
+below Compact Blocks (short-ID list + per-index repair requests) across
+the fraction-of-block-held axis, and the gap widens with block size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig17_rows
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.99)
+
+
+def test_fig17_p2_size_by_part(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig17_rows(block_sizes=(200, 2000, 10000),
+                           fractions=FRACTIONS, trials=2),
+        rounds=1, iterations=1)
+    record_rows("fig17_p2_size_by_part", rows)
+
+    for row in rows:
+        if row["n"] >= 2000:
+            assert row["graphene_total"] < row["compact_blocks_bytes"], row
+
+    # The decomposition is complete: named parts sum to the total.
+    for row in rows:
+        parts = (row["inv"] + row["getdata"] + row["bloom_s"]
+                 + row["iblt_i"] + row["counts"] + row["bloom_r"]
+                 + row["iblt_j"] + row["bloom_f"] + row["extra_getdata"]
+                 + row["ordering"])
+        assert abs(parts - row["graphene_total"]) < 1.0, row
+
+    # Advantage grows with block size at fraction 0.6.
+    def ratio(n):
+        row = next(r for r in rows
+                   if r["n"] == n and r["fraction"] == 0.6)
+        return row["graphene_total"] / row["compact_blocks_bytes"]
+
+    assert ratio(10000) < ratio(200)

@@ -1,0 +1,34 @@
+"""Fig. 18: mempool synchronization (m = n) vs Compact Blocks.
+
+Paper result: in the m = n regime (the special case of 3.3.2, with
+pinned f_R and the third Bloom filter F), Graphene stays cheaper than
+Compact Blocks across overlap fractions, with the advantage growing
+with mempool size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig18_rows
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig18_mempool_sync(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig18_rows(block_sizes=(200, 2000, 10000),
+                           fractions=FRACTIONS, trials=2),
+        rounds=1, iterations=1)
+    record_rows("fig18_mempool_sync", rows)
+
+    for row in rows:
+        assert row["success_rate"] == 1.0, row
+        if row["n"] >= 2000:
+            assert row["graphene_bytes"] < row["compact_blocks_bytes"], row
+
+    # Advantage increases with mempool size (compare at fraction 0.4).
+    def ratio(n):
+        row = next(r for r in rows
+                   if r["n"] == n and r["fraction_common"] == 0.4)
+        return row["graphene_bytes"] / row["compact_blocks_bytes"]
+
+    assert ratio(10000) < ratio(200)

@@ -1,0 +1,20 @@
+"""Fig. 19: empirical validation of Theorem 2 (x* lower-bounds x).
+
+Paper result: across block sizes and held fractions, the fraction of
+Monte-Carlo trials where x* <= x meets or exceeds beta = 239/240.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig19_rows
+
+
+def test_fig19_theorem2(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig19_rows(block_sizes=(200, 2000),
+                           fractions=(0.0, 0.3, 0.6, 0.9), trials=1500),
+        rounds=1, iterations=1)
+    record_rows("fig19_theorem2", rows)
+
+    for row in rows:
+        assert row["bound_holds_rate"] >= row["target"] - 0.01, row

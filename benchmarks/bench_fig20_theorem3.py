@@ -1,0 +1,20 @@
+"""Fig. 20: empirical validation of Theorem 3 (y* upper-bounds y).
+
+Paper result: the fraction of Monte-Carlo trials where y* >= y meets
+or exceeds beta = 239/240 everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig20_rows
+
+
+def test_fig20_theorem3(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: fig20_rows(block_sizes=(200, 2000),
+                           fractions=(0.0, 0.3, 0.6, 0.9), trials=1500),
+        rounds=1, iterations=1)
+    record_rows("fig20_theorem3", rows)
+
+    for row in rows:
+        assert row["bound_holds_rate"] >= row["target"] - 0.01, row

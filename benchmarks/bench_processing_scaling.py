@@ -1,0 +1,63 @@
+"""Processing-time scaling of Protocol 1 construction and reception.
+
+Section 6.3 reports receiver processing dominated by the mempool's pass
+through Bloom filter S (17.8 ms in Geth before hash splitting).  These
+benchmarks time our sender and receiver paths at the paper's three
+block sizes so CPU regressions are as visible as byte regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.scenarios import make_block_scenario
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+
+CONFIG = GrapheneConfig()
+
+
+def _scenario(n):
+    return make_block_scenario(n=n, extra=n, fraction=1.0, seed=n)
+
+
+@pytest.mark.parametrize("n", [200, 2000])
+def test_build_protocol1_scaling(benchmark, n):
+    scenario = _scenario(n)
+    payload = benchmark(build_protocol1, scenario.block.txs, scenario.m,
+                        CONFIG)
+    assert payload.n == n
+
+
+@pytest.mark.parametrize("n", [200, 2000])
+def test_receive_protocol1_scaling(benchmark, n):
+    scenario = _scenario(n)
+    payload = build_protocol1(scenario.block.txs, scenario.m, CONFIG)
+
+    def receive():
+        return receive_protocol1(payload, scenario.receiver_mempool,
+                                 CONFIG, validate_block=scenario.block)
+
+    result = benchmark(receive)
+    assert result.success
+
+
+def test_receive_cost_grows_subquadratically(benchmark):
+    """One timed pass at n=2000; the scaling guard compares to n=200."""
+    import time
+    timings = {}
+    for n in (200, 2000):
+        scenario = _scenario(n)
+        payload = build_protocol1(scenario.block.txs, scenario.m, CONFIG)
+        start = time.perf_counter()
+        for _ in range(3):
+            receive_protocol1(payload, scenario.receiver_mempool, CONFIG,
+                              validate_block=scenario.block)
+        timings[n] = (time.perf_counter() - start) / 3
+
+    def measured():
+        return timings
+
+    benchmark.pedantic(measured, rounds=1, iterations=1)
+    # 10x the block should cost well under 100x the receive time.
+    assert timings[2000] < 40 * timings[200]

@@ -1,0 +1,27 @@
+"""Section 5.3.2: the Difference Digest (IBLT-only) alternative.
+
+Paper result: "This approach is several times more expensive than
+Graphene" -- the strata estimator alone costs ~log2(m) IBLTs of 80
+cells, before the doubled final IBLT.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import sec532_rows
+
+
+def test_sec532_difference_digest(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: sec532_rows(block_sizes=(200, 2000),
+                            fractions=(0.8, 0.9, 0.95), trials=3),
+        rounds=1, iterations=1)
+    record_rows("sec532_difference_digest", rows)
+
+    for row in rows:
+        assert row["difference_digest_bytes"] > row["graphene_bytes"], row
+
+    # "Several times": check the multiple at the 2000-txn block.
+    big = [row for row in rows if row["n"] == 2000]
+    for row in big:
+        assert (row["difference_digest_bytes"]
+                >= 2.0 * row["graphene_bytes"]), row

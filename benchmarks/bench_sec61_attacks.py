@@ -1,0 +1,53 @@
+"""Section 6.1: attack resilience.
+
+Paper result: manufactured short-ID collisions always defeat XThin and
+Compact Blocks; Graphene fails only with probability f_S * f_R; a
+malformed IBLT is detected instead of looping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MalformedIBLTError
+from repro.security import make_malformed_iblt, run_collision_attack
+
+TRIALS = 25
+
+
+def _attack_sweep():
+    return [run_collision_attack(n=200, extra=200, seed=seed)
+            for seed in range(TRIALS)]
+
+
+def test_sec61_collision_attack(benchmark, record_rows):
+    results = benchmark.pedantic(_attack_sweep, rounds=1, iterations=1)
+    rows = [{
+        "trials": TRIALS,
+        "xthin_failures": sum(r.xthin_failed for r in results),
+        "compact_blocks_failures":
+            sum(r.compact_blocks_failed for r in results),
+        "cb_siphash_failures":
+            sum(r.compact_blocks_siphash_failed for r in results),
+        "graphene_failures": sum(r.graphene_failed for r in results),
+        "graphene_analytic_fs_fr":
+            sum(r.graphene_failure_probability for r in results) / TRIALS,
+    }]
+    record_rows("sec61_attacks", rows)
+
+    row = rows[0]
+    assert row["xthin_failures"] == TRIALS
+    assert row["compact_blocks_failures"] == TRIALS
+    assert row["cb_siphash_failures"] == 0
+    assert row["graphene_failures"] <= 2
+    assert row["graphene_analytic_fs_fr"] < 0.01
+
+
+def test_sec61_malformed_iblt_detected(benchmark):
+    def build_and_decode():
+        iblt = make_malformed_iblt(cells=120, k=4,
+                                   honest_keys=range(200, 240))
+        with pytest.raises(MalformedIBLTError):
+            iblt.decode()
+
+    benchmark.pedantic(build_and_decode, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each bench runs one experiment driver once (timed by pytest-benchmark),
+prints the series the paper's figure plots, and writes the rows to
+``benchmarks/results/<name>.json`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_rows():
+    """Return a callable that prints and persists experiment rows."""
+
+    def _record(name: str, rows: list) -> list:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        with open(path, "w") as handle:
+            json.dump(rows, handle, indent=1, default=str)
+        print(f"\n[{name}] {len(rows)} rows -> {path}")
+        for row in rows:
+            cells = "  ".join(
+                f"{key}={_fmt(value)}" for key, value in row.items())
+            print(f"  {cells}")
+        return rows
+
+    return _record
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value

@@ -1,0 +1,85 @@
+"""Swapping Graphene's data structures (paper 2.1 and 3.3.1).
+
+The paper notes that "any alternative can be used if Eqs. 2, 3, 4 and 5
+are updated appropriately" (for the Bloom filter) and that IBLT
+alternatives trade CPU for size.  This example measures those swaps on
+one concrete reconciliation task:
+
+* filter S:  Bloom  vs  Golomb-coded set  vs  cuckoo filter
+* the IBLT:  IBLT   vs  CPISync (characteristic polynomials)
+
+Run:  python examples/alternative_structures.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.params import GrapheneConfig, optimize_a
+from repro.pds.bloom import bloom_size_bytes
+from repro.pds.cpisync import cpisync_size_bytes, make_digest, reconcile
+from repro.pds.cuckoo import cuckoo_size_bytes
+from repro.pds.gcs import gcs_size_bytes
+from repro.pds.iblt import IBLT
+from repro.pds.param_table import default_param_table
+
+N, M = 2000, 4000
+DIFF = 40
+
+
+def filter_comparison() -> None:
+    plan = optimize_a(N, M, GrapheneConfig())
+    print(f"filter S for a {N}-txn block at f_S = {plan.fpr:.4f} "
+          f"(the Eq. 3 optimum):")
+    rows = [
+        ("Bloom filter", bloom_size_bytes(N, plan.fpr) + 9,
+         "O(1) queries, the paper's choice"),
+        ("Golomb-coded set", gcs_size_bytes(N, plan.fpr),
+         "~30% smaller, full decode per query"),
+        ("Cuckoo filter", cuckoo_size_bytes(N, plan.fpr),
+         "supports deletion, wins at low FPR"),
+    ]
+    for name, size, note in rows:
+        print(f"  {name:<18} {size:>7,} B   {note}")
+
+
+def reconciler_comparison() -> None:
+    rng = random.Random(1)
+    shared = [rng.getrandbits(64) for _ in range(500)]
+    mine = [rng.getrandbits(64) for _ in range(DIFF // 2)]
+    theirs = [rng.getrandbits(64) for _ in range(DIFF - DIFF // 2)]
+
+    print(f"\nreconciling a {DIFF}-item symmetric difference:")
+    params = default_param_table(240).params_for(DIFF)
+    start = time.perf_counter()
+    a = IBLT(params.cells, k=params.k, seed=2)
+    b = IBLT(params.cells, k=params.k, seed=2)
+    a.update(shared + mine)
+    b.update(shared + theirs)
+    result = (a - b).decode()
+    iblt_time = time.perf_counter() - start
+    assert result.complete
+    print(f"  {'IBLT':<18} {12 + params.cells * 12:>7,} B   "
+          f"{iblt_time * 1000:7.1f} ms   (1/240-certified shape)")
+
+    start = time.perf_counter()
+    digest = make_digest(shared + mine, mbar=DIFF)
+    remote, local = reconcile(digest, shared + theirs)
+    cpi_time = time.perf_counter() - start
+    assert remote == frozenset(mine) and local == frozenset(theirs)
+    print(f"  {'CPISync':<18} {cpisync_size_bytes(DIFF):>7,} B   "
+          f"{cpi_time * 1000:7.1f} ms   (near-optimal bytes, more CPU)")
+
+    print("\nThe paper's balance: IBLTs pay a constant-factor byte "
+          "premium for decode speed\nthat holds up at blockchain scale "
+          "(section 2.1).")
+
+
+def main() -> None:
+    filter_comparison()
+    reconciler_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Block propagation across a simulated p2p network.
+
+The paper's motivation: smaller block encodings reach the whole network
+faster, so miners converge sooner and fork less.  This example builds a
+16-node random 4-regular network with 2 Mbit/s links and 50 ms latency,
+mines one 1000-transaction block, and measures when every node has it --
+once per relay protocol.
+
+Run:  python examples/block_propagation_network.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Block, TransactionGenerator
+from repro.net import (
+    Node,
+    RelayProtocol,
+    Simulator,
+    connect_random_regular,
+)
+
+NODES = 16
+DEGREE = 4
+BLOCK_TXNS = 1000
+EXTRA_MEMPOOL = 1000
+BANDWIDTH = 250_000  # bytes/sec ~ 2 Mbit/s
+LATENCY = 0.05
+
+
+def propagate(protocol: RelayProtocol) -> tuple[float, int]:
+    """Return (time for full coverage, total bytes sent network-wide)."""
+    sim = Simulator()
+    nodes = [Node(f"n{i}", sim, protocol=protocol) for i in range(NODES)]
+    connect_random_regular(nodes, degree=DEGREE, latency=LATENCY,
+                           bandwidth=BANDWIDTH, rng=random.Random(99))
+
+    gen = TransactionGenerator(seed=5)
+    block_txs = gen.make_batch(BLOCK_TXNS)
+    extras = gen.make_batch(EXTRA_MEMPOOL)
+    for node in nodes:
+        node.mempool.add_many(block_txs)
+        node.mempool.add_many(extras)
+
+    block = Block.assemble(block_txs)
+    nodes[0].mine_block(block)
+    sim.run()
+
+    root = block.header.merkle_root
+    assert all(root in node.blocks for node in nodes), "propagation failed"
+    coverage = max(node.block_arrival[root] for node in nodes)
+    traffic = sum(node.total_bytes_sent() for node in nodes)
+    return coverage, traffic
+
+
+def main() -> None:
+    print(f"{NODES}-node random {DEGREE}-regular network, "
+          f"{BLOCK_TXNS}-txn block, {BANDWIDTH * 8 // 1000} kbit/s links\n")
+    baseline_time = None
+    for protocol in (RelayProtocol.GRAPHENE, RelayProtocol.COMPACT_BLOCKS,
+                     RelayProtocol.XTHIN, RelayProtocol.FULL_BLOCK):
+        coverage, traffic = propagate(protocol)
+        if baseline_time is None:
+            baseline_time = coverage
+        print(f"  {protocol.value:<16} full coverage in {coverage:7.3f} s, "
+              f"{traffic:>10,} bytes total")
+    print("\nSmaller encodings finish propagating sooner; that headroom is "
+          "what lets a chain raise its block size (paper section 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Longitudinal deployment replay: the shape of the paper's Fig. 12.
+
+The paper's headline deployment plot comes from one Bitcoin Cash node
+relaying months of real blocks.  This example replays a synthetic
+"day": a stream of blocks with realistically skewed sizes (many small,
+few large), mempool conditions drifting block to block, and the
+occasional under-synchronized receiver.  It prints the binned
+average-encoding-size curve and the observed failure count -- the same
+two quantities Fig. 12 reports (deployment: 46 failures in 15,647
+blocks).
+
+Run:  python examples/deployment_replay.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BlockRelaySession, make_block_scenario
+from repro.baselines.xthin import xthin_star_bytes
+
+BLOCKS = 120
+BINS = ((0, 100), (100, 500), (500, 1500), (1500, 3000), (3000, 5001))
+
+
+def main() -> None:
+    rng = random.Random(20190819)
+    session = BlockRelaySession()
+    samples = []
+    p2_count = 0
+    failures = 0
+
+    for i in range(BLOCKS):
+        # Log-skewed block sizes: mostly small, occasionally thousands.
+        n = max(1, int(rng.lognormvariate(5.5, 1.1)))
+        n = min(n, 5000)
+        # Mempool drift: extra txns between 0.5x and 3x the block.
+        extra = int(n * rng.uniform(0.5, 3.0))
+        # 5% of receivers lag transaction gossip a little.
+        fraction = 1.0 if rng.random() > 0.05 else rng.uniform(0.97, 1.0)
+        scenario = make_block_scenario(n=n, extra=extra, fraction=fraction,
+                                       seed=rng.getrandbits(30))
+        outcome = session.relay(scenario.block, scenario.receiver_mempool)
+        samples.append((n, outcome.cost.total()))
+        if outcome.protocol_used == 2:
+            p2_count += 1
+        if not outcome.success:
+            failures += 1
+
+    print(f"replayed {BLOCKS} blocks "
+          f"(protocol 2 used {p2_count}x, failures {failures})\n")
+    print(f"  {'block size':>14}  {'blocks':>6}  {'graphene avg':>12}  "
+          f"{'xthin* avg':>10}")
+    for low, high in BINS:
+        in_bin = [(n, size) for n, size in samples if low <= n < high]
+        if not in_bin:
+            continue
+        mean_n = sum(n for n, _ in in_bin) / len(in_bin)
+        mean_size = sum(size for _, size in in_bin) / len(in_bin)
+        print(f"  {f'{low}-{high - 1}':>14}  {len(in_bin):>6}  "
+              f"{mean_size:>10,.0f} B  {xthin_star_bytes(int(mean_n)):>8,} B")
+    print("\nLike Fig. 12: XThin* climbs ~8 B/txn while Graphene's curve "
+          "stays nearly flat.")
+
+
+if __name__ == "__main__":
+    main()

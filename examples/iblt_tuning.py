@@ -1,0 +1,54 @@
+"""Tuning an IBLT with Algorithm 1 (paper section 4.1).
+
+Finds the optimally small IBLT for recovering j = 40 items at a 1/240
+decode failure rate -- first the shipped table's answer, then a live
+run of the search -- and contrasts both with the naive static
+parameterization (k = 4, tau = 1.5) whose failure rate Fig. 7 shows is
+badly off target.
+
+Run:  python examples/iblt_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pds.param_search import measure_decode_rate, optimal_parameters
+from repro.pds.param_table import default_param_table
+
+J = 40
+DENOM = 240
+TRIALS = 4000
+
+
+def main() -> None:
+    target = 1.0 - 1.0 / DENOM
+    print(f"goal: decode j={J} items with failure rate <= 1/{DENOM}\n")
+
+    # 1. The shipped table (generated once with Algorithm 1).
+    table = default_param_table(DENOM)
+    shipped = table.params_for(J)
+    rate = measure_decode_rate(J, shipped.k, shipped.cells, TRIALS)
+    print(f"  shipped table : k={shipped.k} c={shipped.cells:4d} "
+          f"(tau={shipped.cells / J:.2f})  failure={1 - rate:.4%}")
+
+    # 2. A live Algorithm 1 run (hypergraph Monte Carlo + binary search).
+    result = optimal_parameters(J, target,
+                                rng=np.random.default_rng(0),
+                                max_trials=3000)
+    rate = measure_decode_rate(J, result.k, result.cells, TRIALS)
+    print(f"  live search   : k={result.k} c={result.cells:4d} "
+          f"(tau={result.tau:.2f})  failure={1 - rate:.4%}")
+
+    # 3. The static strawman of Fig. 7.
+    static_c = int(J * 1.5)
+    rate = measure_decode_rate(J, 4, static_c, TRIALS)
+    print(f"  static k=4 t=1.5: k=4 c={static_c:4d} "
+          f"(tau=1.50)  failure={1 - rate:.4%}  <-- misses the target")
+
+    print("\nThe static shape under-allocates at small j; Algorithm 1 "
+          "finds the smallest shape that still meets the decode rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Terminal plotting for experiment rows (no plotting libraries needed).
+
+The benchmark harness emits rows of dicts; :func:`ascii_plot` renders
+one or more numeric series against a shared x-axis as a fixed-size
+ASCII chart, so `python -m repro experiment fig14 --plot ...` can show
+the figure's shape right in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def ascii_plot(rows: Sequence[dict], x: str, ys: Sequence[str],
+               width: int = 64, height: int = 16,
+               logy: bool = False,
+               title: Optional[str] = None) -> str:
+    """Render ``rows`` as an ASCII scatter of ``ys`` against ``x``.
+
+    Non-numeric or missing values are skipped.  Returns the chart as a
+    string (caller prints it).
+    """
+    if width < 16 or height < 4:
+        raise ParameterError("width >= 16 and height >= 4 required")
+    if not ys:
+        raise ParameterError("at least one y series required")
+
+    series = []
+    for key in ys:
+        points = []
+        for row in rows:
+            xv, yv = row.get(x), row.get(key)
+            if isinstance(xv, (int, float)) and isinstance(yv, (int, float)):
+                if logy and yv <= 0:
+                    continue
+                points.append((float(xv), float(yv)))
+        series.append((key, points))
+    all_points = [pt for _, pts in series for pt in pts]
+    if not all_points:
+        raise ParameterError(
+            f"no numeric data for x={x!r}, ys={list(ys)!r}")
+
+    xs = [pt[0] for pt in all_points]
+    yvals = [math.log10(pt[1]) if logy else pt[1] for pt in all_points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(yvals), max(yvals)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (key, points), marker in zip(series, _MARKERS):
+        for xv, yv in points:
+            yv = math.log10(yv) if logy else yv
+            col = round((xv - xmin) / xspan * (width - 1))
+            row_idx = round((yv - ymin) / yspan * (height - 1))
+            grid[height - 1 - row_idx][col] = marker
+
+    top = _format_tick(10 ** ymax if logy else ymax)
+    bottom = _format_tick(10 ** ymin if logy else ymin)
+    label_width = max(len(top), len(bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, grid_row in enumerate(grid):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{label:>{label_width}} |{''.join(grid_row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    xticks = (f"{_format_tick(xmin)}"
+              f"{' ' * max(1, width - len(_format_tick(xmin)) - len(_format_tick(xmax)))}"
+              f"{_format_tick(xmax)}")
+    lines.append(f"{'':>{label_width}}  {xticks}")
+    legend = "  ".join(f"{marker}={key}" for (key, _), marker
+                       in zip(series, _MARKERS))
+    lines.append(f"{'':>{label_width}}  x={x}   {legend}"
+                 + ("   (log y)" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Throughput ceilings: how relay efficiency buys transactions/second.
+
+The paper's first claimed benefit: "if blocks can be relayed using less
+network data, then the maximum block size can be increased, which means
+an increase in the overall number of transactions per second."  This
+module closes that loop analytically:
+
+1. bytes-per-block models for each relay protocol (Graphene via the
+   real Eq. 2-3 optimizer),
+2. propagation delay over an H-hop path of given latency/bandwidth,
+3. the fork-budget delay ceiling (``repro.analysis.forks``),
+4. a search for the largest admissible block, hence the max TPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.forks import delay_for_fork_budget
+from repro.baselines.bloom_only import bloom_only_bytes
+from repro.baselines.compact_blocks import compact_blocks_bytes
+from repro.baselines.xthin import xthin_bytes
+from repro.core.params import GrapheneConfig, optimize_a
+from repro.errors import ParameterError
+
+#: Analytic bytes-per-block models, by protocol name.
+RELAY_MODELS: dict = {}
+
+
+def _model(name: str):
+    def register(fn: Callable[[int, int], int]):
+        RELAY_MODELS[name] = fn
+        return fn
+    return register
+
+
+@_model("graphene")
+def graphene_bytes(n: int, m: int) -> int:
+    return optimize_a(n, m, GrapheneConfig()).total_bytes
+
+
+@_model("compact_blocks")
+def cb_bytes(n: int, m: int) -> int:
+    return compact_blocks_bytes(n)
+
+
+@_model("xthin")
+def xthin_model_bytes(n: int, m: int) -> int:
+    return xthin_bytes(n, m)
+
+
+@_model("bloom_only")
+def bloom_model_bytes(n: int, m: int) -> int:
+    return bloom_only_bytes(n, m)
+
+
+@_model("full_block")
+def full_bytes(n: int, m: int, tx_size: int = 250) -> int:
+    return 80 + n * tx_size
+
+
+def propagation_delay(block_bytes: int, hops: int = 4,
+                      latency: float = 0.05,
+                      bandwidth: float = 250_000.0) -> float:
+    """Store-and-forward delay over ``hops`` links."""
+    if hops < 1:
+        raise ParameterError(f"hops must be >= 1, got {hops}")
+    if block_bytes < 0:
+        raise ParameterError(
+            f"block_bytes must be non-negative, got {block_bytes}")
+    return hops * (latency + block_bytes / bandwidth)
+
+
+@dataclass(frozen=True)
+class ThroughputCeiling:
+    """Result of one throughput computation."""
+
+    protocol: str
+    max_block_txns: int
+    max_tps: float
+    delay_at_max: float
+    allowed_delay: float
+
+
+def max_throughput(protocol: str,
+                   fork_budget: float = 0.01,
+                   block_interval: float = 600.0,
+                   mempool_factor: float = 2.0,
+                   hops: int = 4, latency: float = 0.05,
+                   bandwidth: float = 250_000.0,
+                   n_ceiling: int = 1_000_000) -> ThroughputCeiling:
+    """Largest block (and TPS) whose propagation fits the fork budget.
+
+    Binary search over ``n`` using the protocol's analytic byte model;
+    the receiver's mempool is ``mempool_factor * n``.
+    """
+    if protocol not in RELAY_MODELS:
+        raise ParameterError(
+            f"unknown protocol {protocol!r}; choose from "
+            f"{sorted(RELAY_MODELS)}")
+    model = RELAY_MODELS[protocol]
+    allowed = delay_for_fork_budget(fork_budget, block_interval)
+
+    def delay_of(n: int) -> float:
+        return propagation_delay(model(n, int(n * mempool_factor)),
+                                 hops=hops, latency=latency,
+                                 bandwidth=bandwidth)
+
+    if delay_of(1) > allowed:
+        return ThroughputCeiling(protocol=protocol, max_block_txns=0,
+                                 max_tps=0.0, delay_at_max=delay_of(1),
+                                 allowed_delay=allowed)
+    low, high = 1, 2
+    while high < n_ceiling and delay_of(high) <= allowed:
+        low, high = high, high * 2
+    high = min(high, n_ceiling)
+    while high - low > 1:
+        mid = (low + high) // 2
+        if delay_of(mid) <= allowed:
+            low = mid
+        else:
+            high = mid
+    return ThroughputCeiling(protocol=protocol, max_block_txns=low,
+                             max_tps=low / block_interval,
+                             delay_at_max=delay_of(low),
+                             allowed_delay=allowed)
+
+
+def throughput_table(protocols=("graphene", "compact_blocks", "xthin",
+                                "bloom_only", "full_block"),
+                     **kwargs) -> list[dict]:
+    """Ceilings for several protocols under identical conditions."""
+    rows = []
+    for protocol in protocols:
+        ceiling = max_throughput(protocol, **kwargs)
+        rows.append({
+            "protocol": protocol,
+            "max_block_txns": ceiling.max_block_txns,
+            "max_tps": ceiling.max_tps,
+            "delay_at_max": ceiling.delay_at_max,
+        })
+    return rows

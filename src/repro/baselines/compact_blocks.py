@@ -1,0 +1,140 @@
+"""Compact Blocks (BIP-152), the deployed baseline of the paper.
+
+The sender replies to a plain getdata with the block header plus every
+transaction ID shortened to 6 bytes (SipHash-keyed in deployment; the
+paper's simulations use 8-byte IDs "in expectation of being applied to
+large blocks and mempools", which we mirror via ``short_id_bytes``).
+A receiver missing transactions requests them by *index into the
+block's ordered transaction list* -- 1- or 3-byte indexes depending on
+block size, exactly the accounting of section 5.3 -- costing one extra
+roundtrip.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.block import Block
+from repro.chain.mempool import Mempool
+from repro.core.sizing import MSG_HEADER_BYTES, getdata_bytes, inv_bytes
+from repro.errors import ParameterError
+from repro.utils.serialization import compact_size_len
+
+#: BIP-152 sends an 8-byte nonce for the SipHash key derivation.
+CMPCTBLOCK_NONCE_BYTES = 8
+
+
+def index_width(n: int) -> int:
+    """Bytes per repair index: 1 for small blocks, 3 for large (paper 5.3)."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    return 1 if n <= 0xFF else 3
+
+
+def compact_blocks_bytes(n: int, short_id_bytes: int = 8,
+                         missing: int = 0,
+                         include_header: bool = True) -> int:
+    """Analytic wire size of a Compact Blocks relay (repair txs excluded).
+
+    ``missing`` transactions cost a getblocktxn message of per-index
+    bytes; the transactions themselves are excluded, matching the
+    accounting used for Figs. 14 and 17.
+    """
+    size = compact_size_len(n) + short_id_bytes * n + CMPCTBLOCK_NONCE_BYTES
+    if include_header:
+        size += 80
+    if missing > 0:
+        size += (MSG_HEADER_BYTES + compact_size_len(missing)
+                 + index_width(n) * missing)
+    return size
+
+
+@dataclass
+class CompactBlocksOutcome:
+    """Result of one Compact Blocks relay."""
+
+    success: bool
+    total_bytes: int
+    shortid_bytes: int
+    repair_request_bytes: int = 0
+    repair_tx_bytes: int = 0
+    roundtrips: float = 1.5
+    missing_count: int = 0
+    collisions: int = 0
+
+    def total(self, include_txs: bool = False) -> int:
+        return self.total_bytes + (self.repair_tx_bytes if include_txs else 0)
+
+
+@dataclass
+class CompactBlocksRelay:
+    """Simulate BIP-152 relay against a receiver mempool.
+
+    ``use_siphash`` keys short IDs per-connection like the real
+    protocol, which is what limits the collision attack of section 6.1
+    to one peer.
+    """
+
+    short_id_bytes: int = 8
+    use_siphash: bool = False
+    siphash_key: bytes = field(default_factory=lambda: os.urandom(16))
+
+    def _sid(self, tx) -> int:
+        if self.use_siphash:
+            return tx.keyed_short_id(self.siphash_key, self.short_id_bytes)
+        return tx.short_id(self.short_id_bytes)
+
+    def relay(self, block: Block, receiver_mempool: Mempool,
+              coinbase: Optional[bytes] = None) -> CompactBlocksOutcome:
+        n = block.n
+        # BIP-152 prefills the coinbase (and any other transactions the
+        # sender knows the receiver cannot have) in full.
+        prefilled = [tx for tx in block.txs if tx.is_coinbase]
+        prefilled_ids = {tx.txid for tx in prefilled}
+        shortid_bytes = (compact_blocks_bytes(
+            n - len(prefilled), self.short_id_bytes, missing=0)
+            + sum(tx.size for tx in prefilled))
+        base = inv_bytes() + getdata_bytes(0) + shortid_bytes
+
+        block_sids = [self._sid(tx) for tx in block.txs]
+        pool_by_sid: dict = {}
+        collisions = 0
+        for tx in receiver_mempool:
+            sid = self._sid(tx)
+            if sid in pool_by_sid and pool_by_sid[sid].txid != tx.txid:
+                collisions += 1
+            pool_by_sid[sid] = tx
+
+        matched: dict = {}
+        missing_indexes: list = []
+        for idx, (tx, sid) in enumerate(zip(block.txs, block_sids)):
+            if tx.txid in prefilled_ids:
+                matched[idx] = tx  # delivered in full, no lookup
+                continue
+            found = pool_by_sid.get(sid)
+            if found is None:
+                missing_indexes.append(idx)
+            else:
+                matched[idx] = found
+
+        outcome = CompactBlocksOutcome(
+            success=False, total_bytes=base, shortid_bytes=shortid_bytes,
+            collisions=collisions)
+        repair_txs = []
+        if missing_indexes:
+            outcome.missing_count = len(missing_indexes)
+            outcome.repair_request_bytes = (
+                MSG_HEADER_BYTES + compact_size_len(len(missing_indexes))
+                + index_width(n) * len(missing_indexes))
+            outcome.total_bytes += outcome.repair_request_bytes
+            outcome.roundtrips += 1.0
+            repair_txs = [block.txs[i] for i in missing_indexes]
+            outcome.repair_tx_bytes = sum(tx.size for tx in repair_txs)
+
+        candidate = list(matched.values()) + repair_txs
+        # A short-ID collision that matched the *wrong* mempool txn makes
+        # the Merkle check fail; BIP-152 then falls back to a full block.
+        outcome.success = block.validate_candidate(candidate)
+        return outcome

@@ -1,0 +1,38 @@
+"""Full-block relay: the zero-compression baseline.
+
+What Ethereum did at the time of the paper's Fig. 13 experiment, and
+what every other protocol here falls back to when reconciliation fails:
+send the header and every transaction verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.core.sizing import getdata_bytes, inv_bytes
+
+
+@dataclass(frozen=True)
+class FullBlockOutcome:
+    """Result of a full-block transfer (it always succeeds)."""
+
+    total_bytes: int
+    block_bytes: int
+    roundtrips: float = 1.5
+    success: bool = True
+
+
+def full_block_bytes(block: Block) -> int:
+    """Bytes for the block alone: header plus all transaction payloads."""
+    return block.serialized_size()
+
+
+class FullBlockRelay:
+    """Relay a block by transmitting it whole."""
+
+    def relay(self, block: Block, receiver_mempool=None) -> FullBlockOutcome:
+        """``receiver_mempool`` is accepted (and ignored) for API symmetry."""
+        block_bytes = full_block_bytes(block)
+        total = inv_bytes() + getdata_bytes(0) + block_bytes
+        return FullBlockOutcome(total_bytes=total, block_bytes=block_bytes)

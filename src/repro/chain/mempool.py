@@ -1,0 +1,90 @@
+"""Mempools with per-peer inventory bookkeeping.
+
+A mempool is the receiver-side set ``M`` of the paper's reconciliation
+problem.  Beyond set storage we track, per peer, which transactions have
+had an ``inv`` exchanged -- the log the paper notes senders can use to
+proactively push transactions the receiver cannot have (section 2.2 and
+the Protocol 1 step 3 note).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.chain.transaction import Transaction
+from repro.errors import ParameterError
+
+
+class Mempool:
+    """A set of transactions indexed by txid with inv tracking."""
+
+    def __init__(self, txs: Optional[Iterable[Transaction]] = None):
+        self._txs: dict = {}
+        self._inv_seen: dict = {}  # peer id -> set of txids
+        if txs is not None:
+            self.add_many(txs)
+
+    # ------------------------------------------------------------------
+    # Set content
+    # ------------------------------------------------------------------
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert ``tx``; return False if it was already present."""
+        if tx.txid in self._txs:
+            return False
+        self._txs[tx.txid] = tx
+        return True
+
+    def add_many(self, txs: Iterable[Transaction]) -> int:
+        """Insert many; return how many were new."""
+        return sum(1 for tx in txs if self.add(tx))
+
+    def remove(self, txid: bytes) -> Optional[Transaction]:
+        """Remove and return a transaction, or None if absent."""
+        return self._txs.pop(txid, None)
+
+    def remove_block(self, txids: Iterable[bytes]) -> int:
+        """Evict confirmed transactions after a block connects."""
+        return sum(1 for txid in txids if self._txs.pop(txid, None) is not None)
+
+    def get(self, txid: bytes) -> Optional[Transaction]:
+        return self._txs.get(txid)
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._txs
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._txs.values())
+
+    @property
+    def txids(self) -> list[bytes]:
+        return list(self._txs.keys())
+
+    def transactions(self) -> list[Transaction]:
+        return list(self._txs.values())
+
+    # ------------------------------------------------------------------
+    # Per-peer inventory log
+    # ------------------------------------------------------------------
+
+    def note_inv(self, peer: str, txid: bytes) -> None:
+        """Record that an inv for ``txid`` was exchanged with ``peer``."""
+        if not peer:
+            raise ParameterError("peer id must be non-empty")
+        self._inv_seen.setdefault(peer, set()).add(txid)
+
+    def inv_exchanged(self, peer: str, txid: bytes) -> bool:
+        """True when an inv for ``txid`` was exchanged with ``peer``."""
+        return txid in self._inv_seen.get(peer, ())
+
+    def unannounced_to(self, peer: str, txids: Iterable[bytes]) -> list[bytes]:
+        """Subset of ``txids`` never announced to ``peer``.
+
+        These are candidates for proactive push alongside a Graphene
+        block (Protocol 1 step 3 note).
+        """
+        seen = self._inv_seen.get(peer, set())
+        return [txid for txid in txids if txid not in seen]

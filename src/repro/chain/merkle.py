@@ -1,0 +1,50 @@
+"""Bitcoin-style Merkle trees.
+
+The Merkle root in a block header is what turns Graphene from "probably
+the right transactions" into an exact protocol: after IBLT decoding, the
+receiver orders the candidate set and checks it hashes to the header's
+root (Protocol 1 step 4 / Protocol 2 step 5).  Any residual Bloom filter
+or IBLT mistake is caught here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+
+def _sha256d(data: bytes) -> bytes:
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def merkle_root(txids: Sequence[bytes]) -> bytes:
+    """Compute the Merkle root of an *ordered* list of transaction IDs.
+
+    Follows Bitcoin's convention: an odd node at any level is paired with
+    itself.  An empty list yields 32 zero bytes (only possible for an
+    empty block, which real chains forbid but tests exercise).
+    """
+    if not txids:
+        return bytes(32)
+    level = [bytes(t) for t in txids]
+    for txid in level:
+        if len(txid) != 32:
+            raise ParameterError(f"txids must be 32 bytes, got {len(txid)}")
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            _sha256d(level[i] + level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def merkle_proof_size(n: int) -> int:
+    """Bytes of a single inclusion proof in a tree of ``n`` leaves."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return 32 * max(1, math.ceil(math.log2(n))) if n > 1 else 32

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the workflows a user reaches for first:
+
+* ``relay``       -- relay one synthetic block, print per-protocol bytes.
+* ``sync``        -- synchronize two mempools, print costs.
+* ``iblt-params`` -- look up (or search live) optimal IBLT parameters.
+* ``experiment``  -- run one figure's experiment driver, print its rows.
+* ``attack``      -- run the section 6.1 collision attack summary.
+* ``netsim``      -- propagate a block across a simulated network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.baselines.compact_blocks import CompactBlocksRelay
+from repro.baselines.full_block import FullBlockRelay
+from repro.baselines.xthin import XThinRelay
+from repro.chain.block import Block
+from repro.chain.scenarios import make_block_scenario, make_sync_scenario
+from repro.chain.transaction import TransactionGenerator
+from repro.core.mempool_sync import synchronize_mempools
+from repro.core.session import BlockRelaySession
+
+
+def _cmd_relay(args) -> int:
+    scenario = make_block_scenario(n=args.n, extra=args.extra,
+                                   fraction=args.fraction, seed=args.seed)
+    print(f"block: {scenario.n} txns, receiver mempool: {scenario.m} txns, "
+          f"holds {args.fraction:.0%} of block")
+    outcome = BlockRelaySession().relay(scenario.block,
+                                        scenario.receiver_mempool)
+    print(f"  graphene       {outcome.total_bytes:>9,} B  "
+          f"protocol {outcome.protocol_used}  {outcome.roundtrips} RTT  "
+          f"success={outcome.success}")
+    cb = CompactBlocksRelay().relay(scenario.block,
+                                    scenario.receiver_mempool)
+    print(f"  compact blocks {cb.total_bytes:>9,} B  {cb.roundtrips} RTT  "
+          f"success={cb.success}")
+    xthin = XThinRelay().relay(scenario.block, scenario.receiver_mempool)
+    print(f"  xthin          {xthin.total_bytes:>9,} B  "
+          f"{xthin.roundtrips} RTT  success={xthin.success}")
+    full = FullBlockRelay().relay(scenario.block)
+    print(f"  full block     {full.total_bytes:>9,} B")
+    if args.breakdown:
+        print("graphene breakdown:")
+        for part, size in outcome.cost.as_dict().items():
+            if size:
+                print(f"  {part:<16}{size:>9,} B")
+    return 0 if outcome.success else 1
+
+
+def _cmd_sync(args) -> int:
+    scenario = make_sync_scenario(n=args.n, fraction_common=args.common,
+                                  seed=args.seed)
+    result = synchronize_mempools(scenario.sender_mempool,
+                                  scenario.receiver_mempool)
+    print(f"mempools of {args.n} txns, {args.common:.0%} common")
+    print(f"  protocol {result.protocol_used}, {result.roundtrips} RTT, "
+          f"{result.total_bytes:,} B encoding")
+    print(f"  receiver gained {result.receiver_gained}, sender gained "
+          f"{result.sender_gained}, synchronized={result.synchronized}")
+    return 0 if result.synchronized else 1
+
+
+def _cmd_iblt_params(args) -> int:
+    if args.search:
+        import numpy as np
+        from repro.pds.param_search import optimal_parameters
+        result = optimal_parameters(args.j, 1.0 - 1.0 / args.denom,
+                                    rng=np.random.default_rng(args.seed))
+        print(f"search: j={args.j} denom={args.denom} -> k={result.k} "
+              f"cells={result.cells} tau={result.tau:.3f}")
+    else:
+        from repro.pds.param_table import default_param_table
+        params = default_param_table(args.denom).params_for(args.j)
+        print(f"table: j={args.j} denom={args.denom} -> k={params.k} "
+              f"cells={params.cells} tau={params.cells / max(1, args.j):.3f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.analysis import experiments
+    driver = getattr(experiments, f"{args.name}_rows", None)
+    if driver is None:
+        names = sorted(n[:-5] for n in dir(experiments)
+                       if n.endswith("_rows"))
+        print(f"unknown experiment {args.name!r}; choose from: "
+              f"{', '.join(names)}", file=sys.stderr)
+        return 2
+    rows = driver() if args.trials is None else driver(trials=args.trials)
+    if args.json:
+        json.dump(rows, sys.stdout, indent=1, default=str)
+        print()
+    elif args.plot:
+        from repro.analysis.plotting import ascii_plot
+        x = args.x or next(k for k, v in rows[0].items()
+                           if isinstance(v, (int, float)))
+        ys = args.y or [k for k, v in rows[0].items()
+                        if isinstance(v, (int, float)) and k != x][:3]
+        print(ascii_plot(rows, x=x, ys=ys, logy=args.logy,
+                         title=f"{args.name} ({len(rows)} rows)"))
+    else:
+        for row in rows:
+            print("  ".join(f"{k}={v}" for k, v in row.items()))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.security import run_collision_attack
+    tallies = {"xthin": 0, "compact_blocks": 0, "cb_siphash": 0,
+               "graphene": 0}
+    for seed in range(args.trials):
+        result = run_collision_attack(seed=seed)
+        tallies["xthin"] += result.xthin_failed
+        tallies["compact_blocks"] += result.compact_blocks_failed
+        tallies["cb_siphash"] += result.compact_blocks_siphash_failed
+        tallies["graphene"] += result.graphene_failed
+    for name, count in tallies.items():
+        print(f"  {name:<16} failed {count}/{args.trials}")
+    return 0
+
+
+def _cmd_netsim(args) -> int:
+    from repro.net import (
+        Node,
+        RelayProtocol,
+        Simulator,
+        connect_random_regular,
+    )
+    protocol = RelayProtocol(args.protocol)
+    sim = Simulator()
+    nodes = [Node(f"n{i}", sim, protocol=protocol)
+             for i in range(args.nodes)]
+    connect_random_regular(nodes, degree=args.degree,
+                           latency=args.latency,
+                           bandwidth=args.bandwidth,
+                           rng=random.Random(args.seed))
+    gen = TransactionGenerator(seed=args.seed)
+    txs = gen.make_batch(args.block_size)
+    for node in nodes:
+        node.mempool.add_many(txs)
+    block = Block.assemble(txs)
+    nodes[0].mine_block(block)
+    sim.run()
+    root = block.header.merkle_root
+    covered = sum(1 for node in nodes if root in node.blocks)
+    coverage = max(node.block_arrival[root] for node in nodes
+                   if root in node.block_arrival)
+    traffic = sum(node.total_bytes_sent() for node in nodes)
+    print(f"{args.protocol}: {covered}/{args.nodes} nodes in "
+          f"{coverage:.3f} s, {traffic:,} bytes total")
+    return 0 if covered == args.nodes else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    relay = sub.add_parser("relay", help="relay one synthetic block")
+    relay.add_argument("--n", type=int, default=2000)
+    relay.add_argument("--extra", type=int, default=2000)
+    relay.add_argument("--fraction", type=float, default=1.0)
+    relay.add_argument("--seed", type=int, default=0)
+    relay.add_argument("--breakdown", action="store_true")
+    relay.set_defaults(func=_cmd_relay)
+
+    sync = sub.add_parser("sync", help="synchronize two mempools")
+    sync.add_argument("--n", type=int, default=1000)
+    sync.add_argument("--common", type=float, default=0.5)
+    sync.add_argument("--seed", type=int, default=0)
+    sync.set_defaults(func=_cmd_sync)
+
+    params = sub.add_parser("iblt-params",
+                            help="optimal IBLT parameters for j items")
+    params.add_argument("--j", type=int, required=True)
+    params.add_argument("--denom", type=int, default=240)
+    params.add_argument("--search", action="store_true",
+                        help="run Algorithm 1 live instead of the table")
+    params.add_argument("--seed", type=int, default=0)
+    params.set_defaults(func=_cmd_iblt_params)
+
+    experiment = sub.add_parser("experiment",
+                                help="run one figure's experiment driver")
+    experiment.add_argument("name", help="e.g. fig14, fig18, sec51")
+    experiment.add_argument("--trials", type=int, default=None)
+    experiment.add_argument("--json", action="store_true")
+    experiment.add_argument("--plot", action="store_true",
+                            help="render an ASCII chart of the rows")
+    experiment.add_argument("--x", default=None,
+                            help="x-axis field for --plot")
+    experiment.add_argument("--y", action="append", default=None,
+                            help="y series for --plot (repeatable)")
+    experiment.add_argument("--logy", action="store_true")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    attack = sub.add_parser("attack", help="collision-attack summary")
+    attack.add_argument("--trials", type=int, default=20)
+    attack.set_defaults(func=_cmd_attack)
+
+    netsim = sub.add_parser("netsim", help="block propagation simulation")
+    netsim.add_argument("--nodes", type=int, default=16)
+    netsim.add_argument("--degree", type=int, default=4)
+    netsim.add_argument("--block-size", type=int, default=500)
+    netsim.add_argument("--latency", type=float, default=0.05)
+    netsim.add_argument("--bandwidth", type=float, default=1_000_000.0)
+    netsim.add_argument("--protocol", default="graphene",
+                        choices=[p.value for p in __import__(
+                            "repro.net.node", fromlist=["RelayProtocol"]
+                        ).RelayProtocol])
+    netsim.add_argument("--seed", type=int, default=0)
+    netsim.set_defaults(func=_cmd_netsim)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,250 @@
+"""Binary wire codecs for every structure Graphene puts on the network.
+
+The rest of the package accounts for sizes analytically; this module
+makes those numbers real: Bloom filters, IBLTs, transactions and the
+Graphene protocol messages all encode to byte strings and decode back,
+and each codec produces exactly the byte counts the size model claims
+(``BloomFilter.serialized_size``, ``IBLT.serialized_size``, ...).  The
+round-trip property is what a public interoperability spec (the paper's
+released BUIP093 network specification) pins down.
+
+Layouts (all little-endian):
+
+* Bloom filter: ``nbits u32 | k u8 | seed u32`` then the bit array --
+  9 bytes + ceil(nbits/8), the BIP-37-like header the size model uses.
+* IBLT: ``cells u32 | k u8 | seed u32 | cell_bytes u8 | pad u16`` (12
+  bytes) then ``cells`` cells of ``count i16 | keySum u64 | checkSum``
+  (checkSum width = cell_bytes - 10).
+* Transaction: ``txid 32B | size u32 | fee_rate f32 | flags u8`` -- payloads are
+  synthetic in this simulation, so a transaction's wire form carries
+  its metadata; *size accounting* elsewhere still charges ``tx.size``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.chain.transaction import Transaction
+from repro.errors import ParameterError
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+from repro.utils.serialization import compact_size, read_compact_size
+
+_U32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Bloom filter
+# ---------------------------------------------------------------------------
+
+def encode_bloom(bloom: BloomFilter) -> bytes:
+    """Serialize a Bloom filter; length equals ``serialized_size()``."""
+    header = struct.pack("<IBI", bloom.nbits, bloom.k, bloom.seed & _U32)
+    return header + bytes(bloom._bits)
+
+
+def decode_bloom(data: bytes, offset: int = 0) -> tuple[BloomFilter, int]:
+    """Parse a Bloom filter; returns ``(filter, new_offset)``.
+
+    The decoded filter answers membership identically to the encoded
+    one (inserted-item count is not on the wire and is left at 0).
+    """
+    if offset + 9 > len(data):
+        raise ParameterError("buffer exhausted while reading Bloom header")
+    nbits, k, seed = struct.unpack_from("<IBI", data, offset)
+    offset += 9
+    nbytes = (nbits + 7) // 8
+    if offset + nbytes > len(data):
+        raise ParameterError("buffer exhausted while reading Bloom bits")
+    bloom = BloomFilter(nbits, k, seed=seed)
+    bloom._bits[:] = data[offset:offset + nbytes]
+    return bloom, offset + nbytes
+
+
+# ---------------------------------------------------------------------------
+# IBLT
+# ---------------------------------------------------------------------------
+
+def encode_iblt(iblt: IBLT) -> bytes:
+    """Serialize an IBLT; length equals ``serialized_size()``."""
+    check_width = iblt.cell_bytes - 10
+    if check_width < 1 or check_width > 8:
+        raise ParameterError(
+            f"cell_bytes={iblt.cell_bytes} not encodable: the checkSum "
+            "field must be 1-8 bytes (cell_bytes in 11..18)")
+    check_mask = (1 << (8 * check_width)) - 1
+    parts = [struct.pack("<IBIBH", iblt.cells, iblt.k, iblt.seed & _U32,
+                         iblt.cell_bytes, 0)]
+    for cell in iblt._table:
+        if not -32768 <= cell.count <= 32767:
+            raise ParameterError(f"cell count {cell.count} overflows i16")
+        parts.append(struct.pack("<hQ", cell.count, cell.key_sum))
+        parts.append((cell.check_sum & check_mask)
+                     .to_bytes(check_width, "little"))
+    return b"".join(parts)
+
+
+def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
+    """Parse an IBLT; returns ``(iblt, new_offset)``."""
+    if offset + 12 > len(data):
+        raise ParameterError("buffer exhausted while reading IBLT header")
+    cells, k, seed, cell_bytes, _pad = struct.unpack_from(
+        "<IBIBH", data, offset)
+    offset += 12
+    # Validate the claimed shape before trusting it: a hostile or
+    # corrupted header must not drive reads past the buffer (the IBLT
+    # constructor would also silently round cells up to a multiple of
+    # k, desynchronizing the cell loop from the wire).
+    if not 11 <= cell_bytes <= 18:
+        raise ParameterError(
+            f"IBLT cell_bytes {cell_bytes} outside supported 11..18")
+    if k < 2 or cells < k or cells % k != 0:
+        raise ParameterError(
+            f"inconsistent IBLT shape: cells={cells}, k={k}")
+    check_width = cell_bytes - 10
+    body = cells * cell_bytes
+    if offset + body > len(data):
+        raise ParameterError("buffer exhausted while reading IBLT cells")
+    iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
+    for cell in iblt._table:
+        count, key_sum = struct.unpack_from("<hQ", data, offset)
+        offset += 10
+        check = int.from_bytes(data[offset:offset + check_width], "little")
+        offset += check_width
+        cell.count = count
+        cell.key_sum = key_sum
+        cell.check_sum = check
+    return iblt, offset
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+def encode_transaction(tx: Transaction) -> bytes:
+    """Serialize a transaction's simulation metadata (41 bytes)."""
+    flags = 1 if tx.is_coinbase else 0
+    return tx.txid + struct.pack("<IfB", tx.size, tx.fee_rate, flags)
+
+
+def decode_transaction(data: bytes, offset: int = 0) -> tuple[Transaction, int]:
+    """Parse a transaction; returns ``(tx, new_offset)``."""
+    if offset + 41 > len(data):
+        raise ParameterError("buffer exhausted while reading transaction")
+    txid = data[offset:offset + 32]
+    size, fee_rate, flags = struct.unpack_from("<IfB", data, offset + 32)
+    return Transaction(txid=txid, size=size, fee_rate=fee_rate,
+                       is_coinbase=bool(flags & 1)), offset + 41
+
+
+def encode_tx_list(txs) -> bytes:
+    """CompactSize count followed by each transaction."""
+    parts = [compact_size(len(txs))]
+    parts.extend(encode_transaction(tx) for tx in txs)
+    return b"".join(parts)
+
+
+def decode_tx_list(data: bytes, offset: int = 0) -> tuple[list, int]:
+    count, offset = read_compact_size(data, offset)
+    txs = []
+    for _ in range(count):
+        tx, offset = decode_transaction(data, offset)
+        txs.append(tx)
+    return txs, offset
+
+
+# ---------------------------------------------------------------------------
+# Graphene protocol messages
+# ---------------------------------------------------------------------------
+
+def encode_protocol1_payload(payload) -> bytes:
+    """Serialize a Protocol 1 payload (counts + prefilled txns + S + I)."""
+    return (compact_size(payload.n) + compact_size(payload.recover)
+            + encode_tx_list(payload.prefilled)
+            + encode_bloom(payload.bloom_s) + encode_iblt(payload.iblt_i))
+
+
+def decode_protocol1_payload(data: bytes, offset: int = 0):
+    """Parse a Protocol 1 payload; returns ``(payload, new_offset)``.
+
+    Reconstructs a :class:`~repro.core.protocol1.Protocol1Payload` whose
+    receive-side behaviour matches the original (the sender-side sizing
+    ``plan`` is not on the wire; the decoded payload carries the FPR the
+    filter was built with via ``bloom.target_fpr`` estimation).
+    """
+    from repro.core.params import FilterIBLTPlan
+    from repro.core.protocol1 import Protocol1Payload
+    from repro.pds.param_table import IBLTParams
+
+    n, offset = read_compact_size(data, offset)
+    recover, offset = read_compact_size(data, offset)
+    prefilled, offset = decode_tx_list(data, offset)
+    bloom, offset = decode_bloom(data, offset)
+    iblt, offset = decode_iblt(data, offset)
+    fpr = bloom.actual_fpr() if bloom.nbits else 1.0
+    plan = FilterIBLTPlan(
+        a=0, fpr=fpr if fpr > 0 else 1.0, recover=recover,
+        iblt=IBLTParams(cells=iblt.cells, k=iblt.k),
+        bloom_bytes=bloom.serialized_size(),
+        iblt_bytes=iblt.serialized_size())
+    payload = Protocol1Payload(n=n, bloom_s=bloom, iblt_i=iblt,
+                               recover=recover, plan=plan,
+                               prefilled=tuple(prefilled))
+    return payload, offset
+
+
+def encode_protocol2_request(request) -> bytes:
+    """Serialize a Protocol 2 request (flags + counts + R)."""
+    flags = 1 if request.special_case else 0
+    return (struct.pack("<B", flags) + compact_size(request.b)
+            + compact_size(request.ystar) + compact_size(request.z)
+            + compact_size(request.xstar) + encode_bloom(request.bloom_r))
+
+
+def decode_protocol2_request(data: bytes, offset: int = 0):
+    """Parse a Protocol 2 request; returns ``(request, new_offset)``."""
+    from repro.core.protocol2 import Protocol2Request
+
+    if offset >= len(data):
+        raise ParameterError("buffer exhausted while reading P2 request")
+    flags = data[offset]
+    offset += 1
+    b, offset = read_compact_size(data, offset)
+    ystar, offset = read_compact_size(data, offset)
+    z, offset = read_compact_size(data, offset)
+    xstar, offset = read_compact_size(data, offset)
+    bloom, offset = decode_bloom(data, offset)
+    request = Protocol2Request(bloom_r=bloom, b=b, ystar=ystar, z=z,
+                               xstar=xstar, special_case=bool(flags & 1),
+                               plan=None)
+    return request, offset
+
+
+def encode_protocol2_response(response) -> bytes:
+    """Serialize a Protocol 2 response (T + J [+ F])."""
+    flags = 1 if response.bloom_f is not None else 0
+    parts = [struct.pack("<B", flags), compact_size(response.recover),
+             encode_tx_list(response.missing_txs),
+             encode_iblt(response.iblt_j)]
+    if response.bloom_f is not None:
+        parts.append(encode_bloom(response.bloom_f))
+    return b"".join(parts)
+
+
+def decode_protocol2_response(data: bytes, offset: int = 0):
+    """Parse a Protocol 2 response; returns ``(response, new_offset)``."""
+    from repro.core.protocol2 import Protocol2Response
+
+    if offset >= len(data):
+        raise ParameterError("buffer exhausted while reading P2 response")
+    flags = data[offset]
+    offset += 1
+    recover, offset = read_compact_size(data, offset)
+    txs, offset = decode_tx_list(data, offset)
+    iblt, offset = decode_iblt(data, offset)
+    bloom_f = None
+    if flags & 1:
+        bloom_f, offset = decode_bloom(data, offset)
+    response = Protocol2Response(missing_txs=tuple(txs), iblt_j=iblt,
+                                 bloom_f=bloom_f, recover=recover)
+    return response, offset

@@ -1,0 +1,63 @@
+"""The Graphene protocols (the paper's primary contribution).
+
+Layout mirrors section 3 of the paper:
+
+* :mod:`repro.core.bounds` -- Theorems 1-3: the Chernoff-bound
+  derivations of ``a*``, ``x*`` and ``y*`` that make the probabilistic
+  data structures succeed with beta-assurance.
+* :mod:`repro.core.params` -- the size optimizations for ``a`` (Eqs. 2-3)
+  and ``b`` (Eqs. 4-5), including the exact discrete search the paper
+  prescribes when the optimum falls below 100.
+* :mod:`repro.core.protocol1` -- Protocol 1 (Bloom filter S + IBLT I).
+* :mod:`repro.core.protocol2` -- Protocol 2 / Graphene Extended
+  (Bloom filter R + IBLT J, missing-transaction repair, the m ~ n
+  special case with filter F).
+* :mod:`repro.core.mempool_sync` -- mempool synchronization (3.2.1).
+* :mod:`repro.core.session` -- end-to-end relay: Protocol 1 with
+  fallback to Protocol 2 and ping-pong decoding, plus Merkle validation.
+"""
+
+from repro.core.bounds import BETA_DEFAULT, a_star, x_star, y_star
+from repro.core.params import (
+    GrapheneConfig,
+    optimize_a,
+    optimize_b,
+)
+from repro.core.protocol1 import (
+    Protocol1Payload,
+    Protocol1Result,
+    build_protocol1,
+    receive_protocol1,
+)
+from repro.core.protocol2 import (
+    Protocol2Request,
+    Protocol2Response,
+    build_protocol2_request,
+    respond_protocol2,
+    finish_protocol2,
+)
+from repro.core.session import BlockRelaySession, RelayOutcome
+from repro.core.mempool_sync import MempoolSyncResult, synchronize_mempools
+
+__all__ = [
+    "BETA_DEFAULT",
+    "a_star",
+    "x_star",
+    "y_star",
+    "GrapheneConfig",
+    "optimize_a",
+    "optimize_b",
+    "Protocol1Payload",
+    "Protocol1Result",
+    "build_protocol1",
+    "receive_protocol1",
+    "Protocol2Request",
+    "Protocol2Response",
+    "build_protocol2_request",
+    "respond_protocol2",
+    "finish_protocol2",
+    "BlockRelaySession",
+    "RelayOutcome",
+    "MempoolSyncResult",
+    "synchronize_mempools",
+]

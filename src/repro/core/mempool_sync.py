@@ -1,0 +1,141 @@
+"""Mempool synchronization with Graphene (paper 3.2.1).
+
+Two peers reconcile entire mempools so both end with the union.  The
+sender (by convention the peer with the *smaller* mempool -- "the
+protocol is more efficient if the peer with the smaller mempool acts as
+the sender since S will be smaller") places his whole mempool in S and
+I.  The receiver:
+
+* passes her mempool through S; negatives join ``H``, the set of
+  transactions the sender provably lacks;
+* decodes ``I (-) I'`` -- recovered remote keys are her transactions
+  that *falsely* passed S (they join ``H`` too), recovered local keys
+  are sender transactions she must fetch;
+* on decode failure, falls back to Protocol 2, which in this regime
+  (m ~ n) takes the special-case path with the fixed ``f_R`` and the
+  third Bloom filter F (paper 3.3.2).
+
+At the end both sides exchange the transactions the other is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.mempool import Mempool
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.core.protocol2 import (
+    build_protocol2_request,
+    finish_protocol2,
+    respond_protocol2,
+)
+from repro.core.sizing import (
+    CostBreakdown,
+    getdata_bytes,
+    inv_bytes,
+    short_id_request_bytes,
+)
+
+
+@dataclass
+class MempoolSyncResult:
+    """Outcome of one mempool synchronization."""
+
+    success: bool
+    protocol_used: int
+    roundtrips: float
+    cost: CostBreakdown = field(default_factory=CostBreakdown)
+    #: Transactions the receiver obtained from the sender.
+    receiver_gained: int = 0
+    #: Transactions the sender obtained from the receiver (the set H).
+    sender_gained: int = 0
+    synchronized: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return self.cost.total()
+
+
+def synchronize_mempools(sender: Mempool, receiver: Mempool,
+                         config: Optional[GrapheneConfig] = None,
+                         transfer_missing: bool = True) -> MempoolSyncResult:
+    """Synchronize two mempools; both end up holding the union.
+
+    ``transfer_missing=False`` skips actually moving transactions (and
+    charging their bytes), which matches the encoding-size accounting of
+    Fig. 18 while still exercising the full reconciliation logic.
+    """
+    config = config or GrapheneConfig()
+    sender_txs = sender.transactions()
+    m = len(receiver)
+    cost = CostBreakdown(inv=inv_bytes(), getdata=getdata_bytes(m))
+
+    payload = build_protocol1(sender_txs, m, config)
+    cost.bloom_s = payload.bloom_bytes
+    cost.iblt_i = payload.iblt_bytes
+    cost.counts = payload.wire_size() - payload.bloom_bytes - payload.iblt_bytes
+
+    p1 = receive_protocol1(payload, receiver, config, validate_block=None)
+
+    sender_ids = {tx.txid for tx in sender_txs}
+    # H starts as the receiver transactions that failed S outright.
+    h_set = {tx.txid: tx for tx in receiver
+             if tx.txid not in p1.candidates}
+
+    if p1.decode_complete:
+        result = MempoolSyncResult(success=True, protocol_used=1,
+                                   roundtrips=1.5, cost=cost)
+        # False passes through S (remote keys) also belong in H.
+        reconciled_ids = {tx.txid for tx in p1.reconciled}
+        for txid, tx in p1.candidates.items():
+            if txid not in reconciled_ids:
+                h_set[txid] = tx
+        missing_ids = p1.missing_short_ids
+    else:
+        request, state = build_protocol2_request(p1, payload, m, config)
+        cost.bloom_r = request.bloom_bytes
+        cost.counts += request.wire_size() - request.bloom_bytes
+        response = respond_protocol2(request, sender_txs, m, config)
+        cost.iblt_j = response.iblt_bytes
+        cost.bloom_f = response.bloom_f_bytes
+        if transfer_missing:
+            cost.pushed_tx_bytes = response.txs_bytes
+        p2 = finish_protocol2(response, state, receiver, config,
+                              validate_block=None)
+        result = MempoolSyncResult(success=p2.decode_complete,
+                                   protocol_used=2, roundtrips=2.5, cost=cost)
+        if not p2.decode_complete:
+            return result
+        recovered_ids = set(p2.recovered)
+        for tx in receiver:
+            if tx.txid not in recovered_ids and tx.txid not in sender_ids:
+                h_set[tx.txid] = tx
+        missing_ids = p2.missing_short_ids
+        if transfer_missing:
+            # The pushed set T (inside p2.recovered) is new to the receiver.
+            result.receiver_gained += receiver.add_many(p2.recovered.values())
+
+    # Receiver fetches sender transactions she lacks, by short ID.
+    if missing_ids:
+        cost.extra_getdata = short_id_request_bytes(
+            len(missing_ids), config.short_id_bytes)
+        result.roundtrips += 1.0
+    fetched = []
+    wanted = set(missing_ids)
+    for tx in sender_txs:
+        if tx.short_id(config.short_id_bytes) in wanted:
+            fetched.append(tx)
+    if transfer_missing:
+        cost.fetched_tx_bytes += sum(tx.size for tx in fetched)
+        receiver.add_many(fetched)
+        # Receiver pushes H (transactions the sender lacks).
+        h_txs = [tx for tx in h_set.values() if tx.txid not in sender_ids]
+        cost.fetched_tx_bytes += sum(tx.size for tx in h_txs)
+        sender.add_many(h_txs)
+        result.sender_gained = len(h_txs)
+        result.receiver_gained += len(fetched)
+        result.synchronized = (
+            {tx.txid for tx in sender} == {tx.txid for tx in receiver})
+    return result

@@ -1,0 +1,187 @@
+"""Graphene Protocol 1 (paper 3.1, Figs. 2 and 4).
+
+The sender answers a ``getdata`` (which carries the receiver's mempool
+count ``m``) with a Bloom filter **S** of the block's ``n`` transaction
+IDs at FPR ``f_S = a / (m - n)`` and an IBLT **I** of the block's short
+IDs provisioned for ``a*`` items (Theorem 1).  The receiver passes her
+mempool through S, forming the candidate set ``Z``; builds ``I'`` from
+``Z``; subtracts ``I (-) I'``; removes the recovered false positives
+from ``Z``; and validates the Merkle root.
+
+The functions here also serve mempool synchronization (paper 3.2.1) by
+treating the sender's whole mempool as the "block": pass
+``validate_block=None`` and the Merkle check is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chain.block import Block
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import ShortIdIndex, Transaction
+from repro.core.params import FilterIBLTPlan, GrapheneConfig, optimize_a
+from repro.errors import ParameterError
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+from repro.utils.serialization import compact_size_len
+
+#: Seed offsets keeping the hash families of S/I and R/J independent,
+#: which ping-pong decoding requires (paper 4.2).
+SEED_S = 0x5150
+SEED_I = 0x1B17
+SEED_J = 0x2B27
+
+
+@dataclass(frozen=True)
+class Protocol1Payload:
+    """Step 3 message: Bloom filter S, IBLT I, and bookkeeping counts.
+
+    ``prefilled`` carries transactions the sender knows the receiver
+    cannot have (no inv ever exchanged -- e.g. the coinbase); the paper
+    notes these "could be sent at Step 3 in order to reduce the number
+    of transactions in I (-) I'".
+    """
+
+    n: int
+    bloom_s: BloomFilter
+    iblt_i: IBLT
+    recover: int  # a*, what I was provisioned for
+    plan: FilterIBLTPlan
+    prefilled: tuple = ()
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: S + I + counts + any prefilled txns."""
+        return (self.bloom_s.serialized_size() + self.iblt_i.serialized_size()
+                + compact_size_len(self.n) + compact_size_len(self.recover)
+                + compact_size_len(len(self.prefilled))
+                + sum(tx.size for tx in self.prefilled))
+
+    @property
+    def bloom_bytes(self) -> int:
+        return self.bloom_s.serialized_size()
+
+    @property
+    def iblt_bytes(self) -> int:
+        return self.iblt_i.serialized_size()
+
+
+@dataclass
+class Protocol1Result:
+    """Receiver-side outcome of Protocol 1.
+
+    On success ``txs`` holds the canonically ordered block transactions.
+    On failure the fields preserve everything Protocol 2 needs: the
+    candidate set ``Z``, the observed count ``z``, the subtracted IBLT
+    (for ping-pong decoding later) and the index mapping short IDs back
+    to transactions.
+    """
+
+    success: bool
+    txs: Optional[list] = None
+    candidates: dict = field(default_factory=dict)  # txid -> Transaction
+    z: int = 0
+    iblt_diff: Optional[IBLT] = None
+    decode_complete: bool = False
+    merkle_ok: bool = False
+    missing_short_ids: frozenset = frozenset()
+    #: Candidate transactions surviving false-positive removal (only
+    #: meaningful when decode_complete; used by mempool synchronization).
+    reconciled: list = field(default_factory=list)
+
+
+def build_protocol1(txs: Sequence[Transaction], receiver_mempool_count: int,
+                    config: Optional[GrapheneConfig] = None,
+                    plan: Optional[FilterIBLTPlan] = None,
+                    prefill: Optional[Sequence[Transaction]] = None,
+                    auto_prefill_coinbase: bool = True) -> Protocol1Payload:
+    """Sender side: construct S and I for a block (or a whole mempool).
+
+    ``plan`` lets callers (and ablation benches) override the optimizer.
+    ``prefill`` transactions ride along in full (step-3 note); coinbase
+    transactions are prefilled automatically since no receiver can hold
+    them (disable with ``auto_prefill_coinbase=False``).
+    """
+    config = config or GrapheneConfig()
+    n = len(txs)
+    prefilled = list(prefill) if prefill is not None else []
+    if auto_prefill_coinbase:
+        chosen = {tx.txid for tx in prefilled}
+        prefilled.extend(tx for tx in txs
+                         if tx.is_coinbase and tx.txid not in chosen)
+    if plan is None:
+        plan = optimize_a(n, receiver_mempool_count, config)
+    bloom = BloomFilter.from_fpr(n, plan.fpr, seed=config.seed ^ SEED_S)
+    iblt = IBLT(plan.iblt.cells, k=plan.iblt.k, seed=config.seed ^ SEED_I,
+                cell_bytes=config.cell_bytes)
+    for tx in txs:
+        bloom.insert(tx.txid)
+        iblt.insert(tx.short_id(config.short_id_bytes))
+    return Protocol1Payload(n=n, bloom_s=bloom, iblt_i=iblt,
+                            recover=plan.recover, plan=plan,
+                            prefilled=tuple(prefilled))
+
+
+def receive_protocol1(payload: Protocol1Payload, mempool: Mempool,
+                      config: Optional[GrapheneConfig] = None,
+                      validate_block: Optional[Block] = None) -> Protocol1Result:
+    """Receiver side: filter the mempool through S, reconcile with I.
+
+    ``validate_block`` supplies the header whose Merkle root certifies
+    the decode; pass None for mempool synchronization, where success is
+    defined by IBLT decode alone.
+    """
+    config = config or GrapheneConfig()
+    if payload.n < 0:
+        raise ParameterError(f"payload.n must be non-negative: {payload.n}")
+
+    index = ShortIdIndex(nbytes=config.short_id_bytes)
+    candidates: dict = {}
+    iblt_prime = IBLT(payload.iblt_i.cells, k=payload.iblt_i.k,
+                      seed=payload.iblt_i.seed,
+                      cell_bytes=payload.iblt_i.cell_bytes)
+    # Prefilled transactions (e.g. the coinbase) are in the block by
+    # construction -- no Bloom test needed.
+    for tx in payload.prefilled:
+        if tx.txid in candidates:
+            continue
+        candidates[tx.txid] = tx
+        index.add(tx)
+        iblt_prime.insert(tx.short_id(config.short_id_bytes))
+    for tx in mempool:
+        if tx.txid in candidates:
+            continue
+        if tx.txid in payload.bloom_s:
+            candidates[tx.txid] = tx
+            index.add(tx)
+            iblt_prime.insert(tx.short_id(config.short_id_bytes))
+
+    diff = payload.iblt_i.subtract(iblt_prime)
+    decode = diff.decode()
+    result = Protocol1Result(success=False, candidates=candidates,
+                             z=len(candidates), iblt_diff=diff,
+                             decode_complete=decode.complete)
+    if not decode.complete:
+        return result
+
+    # decode.local: short IDs in the block but not the candidate set --
+    # transactions the receiver is missing.  Protocol 1 cannot repair
+    # those; escalate.  decode.remote: false positives to strip from Z.
+    surviving = [
+        tx for tx in candidates.values()
+        if tx.short_id(config.short_id_bytes) not in decode.remote
+    ]
+    result.reconciled = surviving
+    if decode.local:
+        result.missing_short_ids = decode.local
+        return result
+    if validate_block is not None:
+        if not validate_block.validate_candidate(surviving):
+            return result
+        result.merkle_ok = True
+        result.txs = validate_block.require_valid(surviving)
+    else:
+        result.txs = sorted(surviving, key=lambda tx: tx.txid)
+    result.success = True
+    return result

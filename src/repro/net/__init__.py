@@ -1,0 +1,30 @@
+"""Event-driven p2p network substrate.
+
+The paper motivates Graphene with network-level effects: propagation
+delay grows linearly with block size, and slow relay causes forks.
+This package provides the simulation substrate to observe those
+effects end-to-end: an event-driven simulator with latency/bandwidth
+links (:mod:`~repro.net.simulator`), peers that gossip transactions
+and relay blocks with a pluggable protocol (:mod:`~repro.net.node`),
+and topology builders (:mod:`~repro.net.topology`).
+"""
+
+from repro.net.messages import NetMessage
+from repro.net.simulator import Link, Simulator
+from repro.net.node import Node, RelayProtocol
+from repro.net.topology import connect_clique, connect_line, connect_random_regular
+
+__all__ = [
+    "NetMessage",
+    "Link",
+    "Simulator",
+    "Node",
+    "RelayProtocol",
+    "connect_clique",
+    "connect_line",
+    "connect_random_regular",
+]
+
+from repro.net.mining import MinerNode, MiningReport, run_mining_experiment  # noqa: E402
+
+__all__ += ["MinerNode", "MiningReport", "run_mining_experiment"]

@@ -1,0 +1,53 @@
+"""Network messages exchanged by simulated peers.
+
+A :class:`NetMessage` pairs a command name with an arbitrary payload
+object and an explicit wire size.  Sizes come from the payloads' own
+``wire_size()`` / ``serialized_size()`` accounting wherever one exists,
+so bytes measured in the network simulator agree with the standalone
+protocol benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.sizing import MSG_HEADER_BYTES
+from repro.errors import ParameterError
+
+_SEQ = itertools.count()
+
+#: Commands understood by :class:`repro.net.node.Node`.
+COMMANDS = frozenset({
+    "inv", "getdata", "tx",
+    "graphene_block", "graphene_p2_request", "graphene_p2_response",
+    "getdata_shortids", "block_txs",
+    "cmpctblock", "getblocktxn", "blocktxn",
+    "xthin_getdata", "xthinblock",
+    "block",
+    "mempool_sync_request", "mempool_sync_p1",
+    "mempool_sync_p2_req", "mempool_sync_p2_resp",
+    "sync_fetch", "sync_txs", "sync_push",
+})
+
+
+@dataclass(frozen=True)
+class NetMessage:
+    """One message in flight between two peers."""
+
+    command: str
+    payload: Any
+    size: int
+    msg_id: int = field(default_factory=lambda: next(_SEQ))
+
+    def __post_init__(self):
+        if self.command not in COMMANDS:
+            raise ParameterError(f"unknown command {self.command!r}")
+        if self.size < 0:
+            raise ParameterError(f"size must be non-negative, got {self.size}")
+
+    @property
+    def total_size(self) -> int:
+        """Payload plus the fixed message envelope."""
+        return self.size + MSG_HEADER_BYTES

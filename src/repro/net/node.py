@@ -1,0 +1,507 @@
+"""Simulated peers that gossip transactions and relay blocks.
+
+A :class:`Node` owns a mempool, gossips transactions with inv/getdata
+like Bitcoin's p2p layer (section 2.2), and relays blocks with a
+pluggable :class:`RelayProtocol`.  Block relay reuses the standalone
+protocol implementations -- a Graphene relay on the wire is literally a
+:class:`~repro.core.protocol1.Protocol1Payload` plus its size -- so the
+simulator measures the same bytes the benchmarks do, but adds latency,
+bandwidth and multi-hop propagation on top.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import struct
+
+from repro.baselines.compact_blocks import compact_blocks_bytes, index_width
+from repro.baselines.xthin import XTHIN_MEMPOOL_FPR, xthin_star_bytes
+from repro.chain.block import Block
+from repro.chain.mempool import Mempool
+from repro.chain.ordering import canonical_order
+from repro.chain.transaction import SHORT_ID_BYTES, Transaction
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
+from repro.core.params import GrapheneConfig
+from repro.core.sizing import (
+    INV_ENTRY_BYTES,
+    MSG_HEADER_BYTES,
+    getdata_bytes,
+)
+from repro.errors import ParameterError
+from repro.net.messages import NetMessage
+from repro.net.simulator import Link, Simulator
+from repro.net.sync import MempoolSyncMixin
+from repro.pds.bloom import BloomFilter
+from repro.utils.serialization import compact_size_len
+
+
+class RelayProtocol(enum.Enum):
+    """Block-relay protocol a node speaks."""
+
+    GRAPHENE = "graphene"
+    COMPACT_BLOCKS = "compact_blocks"
+    XTHIN = "xthin"
+    FULL_BLOCK = "full_block"
+
+
+@dataclass
+class PeerStats:
+    """Byte counters for one direction of one peering."""
+
+    bytes_sent: int = 0
+    messages_sent: int = 0
+
+
+class Node(MempoolSyncMixin):
+    """One peer in the simulated network."""
+
+    def __init__(self, node_id: str, simulator: Simulator,
+                 protocol: RelayProtocol = RelayProtocol.GRAPHENE,
+                 config: Optional[GrapheneConfig] = None,
+                 trickle_interval: float = 0.0):
+        if not node_id:
+            raise ParameterError("node_id must be non-empty")
+        if trickle_interval < 0:
+            raise ParameterError(
+                f"trickle_interval must be >= 0, got {trickle_interval}")
+        self.node_id = node_id
+        self.simulator = simulator
+        self.protocol = protocol
+        self.config = config or GrapheneConfig()
+        #: Bitcoin-style inv trickling: queue announcements per peer and
+        #: flush them in batches every ``trickle_interval`` seconds
+        #: (0 = announce immediately).  Trickling is why mempools lag
+        #: blocks -- the Protocol 2 motivation of paper 3.2.
+        self.trickle_interval = trickle_interval
+        self._trickle_queues: dict = {}
+        self._trickle_scheduled: set = set()
+        self.mempool = Mempool()
+        self.blocks: dict = {}          # merkle root -> Block
+        self.peers: dict = {}           # node -> Link
+        self.stats: dict = {}           # node -> PeerStats
+        self.block_arrival: dict = {}   # merkle root -> sim time
+        self._seen_inv: set = set()
+        # Graphene wire engines, keyed by block Merkle root.
+        self._rx_engines: dict = {}
+        self._tx_engines: dict = {}
+        # Compact Blocks repair state: root -> (header, matched txs).
+        self._cb_pending: dict = {}
+        # Mempool sync sessions (see repro.net.sync).
+        self._sync_sessions: dict = {}
+        self._sync_serving: dict = {}
+        self.relay_failures = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def connect(self, other: "Node", link: Optional[Link] = None,
+                reverse_link: Optional[Link] = None) -> None:
+        """Create a bidirectional peering."""
+        if other is self:
+            raise ParameterError("a node cannot peer with itself")
+        self.peers[other] = link or Link()
+        other.peers[self] = reverse_link or Link(
+            latency=self.peers[other].latency,
+            bandwidth=self.peers[other].bandwidth)
+        self.stats.setdefault(other, PeerStats())
+        other.stats.setdefault(self, PeerStats())
+
+    def _send(self, peer: "Node", message: NetMessage) -> None:
+        link = self.peers.get(peer)
+        if link is None:
+            raise ParameterError(
+                f"{self.node_id} is not peered with {peer.node_id}")
+        stats = self.stats[peer]
+        stats.bytes_sent += message.total_size
+        stats.messages_sent += 1
+        if link.drops():
+            return  # lost in transit; bytes were still spent sending
+        deliver_at = link.transmit_schedule(self.simulator.now,
+                                            message.total_size)
+        self.simulator.schedule_at(
+            deliver_at, lambda: peer.receive(self, message))
+
+    # ------------------------------------------------------------------
+    # Transaction gossip (inv / getdata / tx)
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Inject a fresh transaction at this node (a local wallet)."""
+        if self.mempool.add(tx):
+            self._announce_tx(tx, exclude=None)
+
+    def _announce_tx(self, tx: Transaction, exclude: Optional["Node"]) -> None:
+        for peer in self.peers:
+            if peer is exclude:
+                continue
+            self.mempool.note_inv(peer.node_id, tx.txid)
+            if self.trickle_interval > 0:
+                self._trickle_queues.setdefault(peer, []).append(tx.txid)
+                if peer not in self._trickle_scheduled:
+                    self._trickle_scheduled.add(peer)
+                    self.simulator.schedule(
+                        self.trickle_interval,
+                        lambda p=peer: self._flush_trickle(p))
+            else:
+                self._send(peer, NetMessage("inv", tx.txid,
+                                            INV_ENTRY_BYTES + 1))
+
+    def _flush_trickle(self, peer: "Node") -> None:
+        self._trickle_scheduled.discard(peer)
+        queued = self._trickle_queues.pop(peer, [])
+        if not queued or peer not in self.peers:
+            return
+        self._send(peer, NetMessage("inv", ("txs", tuple(queued)),
+                                    1 + INV_ENTRY_BYTES * len(queued)))
+
+    # ------------------------------------------------------------------
+    # Block relay
+    # ------------------------------------------------------------------
+
+    def mine_block(self, block: Block) -> None:
+        """Adopt a freshly mined block and announce it."""
+        self._accept_block(block, origin=None)
+
+    def _accept_block(self, block: Block, origin: Optional["Node"]) -> None:
+        root = block.header.merkle_root
+        if root in self.blocks:
+            return
+        self.blocks[root] = block
+        self.block_arrival[root] = self.simulator.now
+        self.mempool.remove_block(block.txids)
+        for peer in self.peers:
+            if peer is origin:
+                continue
+            self._send(peer, NetMessage("inv", ("block", root),
+                                        INV_ENTRY_BYTES + 1))
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, sender: "Node", message: NetMessage) -> None:
+        handler = getattr(self, f"_on_{message.command}", None)
+        if handler is None:
+            raise ParameterError(f"no handler for {message.command!r}")
+        handler(sender, message.payload)
+
+    def _on_inv(self, sender: "Node", payload) -> None:
+        if isinstance(payload, tuple) and payload[0] == "block":
+            root = payload[1]
+            if root not in self.blocks and root not in self._seen_inv:
+                self._seen_inv.add(root)
+                if self.protocol is RelayProtocol.GRAPHENE:
+                    # Spin up a receiver engine; the getdata carries m
+                    # (the engine's own start message, paper Fig. 2).
+                    engine = GrapheneReceiverEngine(self.mempool,
+                                                    self.config)
+                    engine.start()
+                    self._rx_engines[root] = engine
+                if self.protocol is RelayProtocol.XTHIN:
+                    # XThin's getdata carries a Bloom filter of the whole
+                    # mempool (paper 2.2).
+                    bloom = BloomFilter.from_fpr(
+                        max(1, len(self.mempool)), XTHIN_MEMPOOL_FPR,
+                        seed=0x7417)
+                    for tx in self.mempool:
+                        bloom.insert(tx.txid)
+                    self._send(sender, NetMessage(
+                        "xthin_getdata", (root, bloom),
+                        getdata_bytes(0) + bloom.serialized_size()))
+                    return
+                self._send(sender, NetMessage(
+                    "getdata", ("block", root, len(self.mempool)),
+                    getdata_bytes(len(self.mempool))))
+            return
+        if isinstance(payload, tuple) and payload[0] == "txs":
+            # A trickled batch announcement: request all news in one
+            # batched getdata, like deployed clients.
+            wanted = tuple(
+                txid for txid in payload[1]
+                if txid not in self.mempool and txid not in self._seen_inv)
+            if wanted:
+                self._seen_inv.update(wanted)
+                self._send(sender, NetMessage(
+                    "getdata", ("txs", wanted),
+                    MSG_HEADER_BYTES + compact_size_len(len(wanted))
+                    + INV_ENTRY_BYTES * len(wanted)))
+            return
+        txid = payload
+        if txid not in self.mempool and txid not in self._seen_inv:
+            self._seen_inv.add(txid)
+            self._send(sender, NetMessage("getdata", ("tx", txid),
+                                          getdata_bytes(0)))
+
+    def _on_getdata(self, sender: "Node", payload) -> None:
+        kind = payload[0]
+        if kind == "tx":
+            tx = self.mempool.get(payload[1])
+            if tx is not None:
+                self._send(sender, NetMessage("tx", tx, tx.size))
+            return
+        if kind == "txs":
+            found = [self.mempool.get(txid) for txid in payload[1]]
+            found = tuple(tx for tx in found if tx is not None)
+            if found:
+                self._send(sender, NetMessage(
+                    "tx", ("batch", found), sum(tx.size for tx in found)))
+            return
+        if kind == "block":
+            block = self.blocks.get(payload[1])
+            if block is None:
+                return
+            receiver_m = payload[2]
+            self._relay_block(sender, block, receiver_m)
+            return
+        if kind == "fullblock":
+            # Fallback after a failed reconciliation: ship everything.
+            block = self.blocks.get(payload[1])
+            if block is not None:
+                self._send(sender, NetMessage("block", block,
+                                              block.serialized_size()))
+            return
+        raise ParameterError(f"unknown getdata kind {kind!r}")
+
+    def _on_tx(self, sender: "Node", payload) -> None:
+        if isinstance(payload, tuple) and payload[0] == "batch":
+            for tx in payload[1]:
+                if self.mempool.add(tx):
+                    self._announce_tx(tx, exclude=sender)
+            return
+        if self.mempool.add(payload):
+            self._announce_tx(payload, exclude=sender)
+
+    # ------------------------------------------------------------------
+    # Block relay bodies
+    # ------------------------------------------------------------------
+
+    def _relay_block(self, peer: "Node", block: Block,
+                     receiver_m: int) -> None:
+        """Serve a block with the configured relay protocol.
+
+        Graphene runs its real message exchange (the core engines over
+        actual encoded bytes); the baselines compute their outcome with
+        the same engines the benchmarks use and ship one message of the
+        corresponding size.  Either way the simulator adds transport
+        costs on top.
+        """
+        proto = self.protocol
+        root = block.header.merkle_root
+        if proto is RelayProtocol.GRAPHENE:
+            engine = self._tx_engines.get(root)
+            if engine is None:
+                engine = GrapheneSenderEngine(block, self.config)
+                self._tx_engines[root] = engine
+            blob = engine.on_getdata(struct.pack("<I", receiver_m))
+            self._send(peer, NetMessage("graphene_block", (root, blob),
+                                        len(blob)))
+            return
+        if proto is RelayProtocol.COMPACT_BLOCKS:
+            # BIP-152 cmpctblock: short IDs plus prefilled coinbase.
+            prefilled = tuple(tx for tx in block.txs if tx.is_coinbase)
+            sids = tuple(tx.short_id(SHORT_ID_BYTES) for tx in block.txs
+                         if not tx.is_coinbase)
+            size = (compact_blocks_bytes(len(sids), SHORT_ID_BYTES)
+                    + sum(tx.size for tx in prefilled))
+            self._send(peer, NetMessage(
+                "cmpctblock",
+                (root, block.header, sids, prefilled), size))
+            return
+        size = block.serialized_size()
+        self._send(peer, NetMessage("block", block, size))
+
+    def _on_block(self, sender: "Node", block: Block) -> None:
+        self._accept_block(block, origin=sender)
+
+    # ------------------------------------------------------------------
+    # Graphene wire handlers (engine-driven, real encoded messages)
+    # ------------------------------------------------------------------
+
+    def _dispatch_receiver_action(self, sender: "Node", root: bytes,
+                                  action) -> None:
+        if action.kind is ActionKind.DONE:
+            self._rx_engines.pop(root, None)
+            # Keep the received header so chain linkage survives.
+            block = action.block if action.block is not None \
+                else Block.assemble(action.txs)
+            self._accept_block(block, origin=sender)
+            return
+        if action.kind is ActionKind.FAILED:
+            # Deployed clients fall back to a full-block request.
+            self.relay_failures += 1
+            self._rx_engines.pop(root, None)
+            self._send(sender, NetMessage(
+                "getdata", ("fullblock", root, 0), getdata_bytes(0)))
+            return
+        self._send(sender, NetMessage(action.command,
+                                      (root, action.message),
+                                      len(action.message)))
+
+    def _on_graphene_block(self, sender: "Node", payload) -> None:
+        root, blob = payload
+        engine = self._rx_engines.get(root)
+        if engine is None:
+            return  # already assembled via another peer
+        self._dispatch_receiver_action(sender, root,
+                                       engine.on_p1_payload(blob))
+
+    def _on_graphene_p2_request(self, sender: "Node", payload) -> None:
+        root, blob = payload
+        engine = self._tx_engines.get(root)
+        if engine is None:
+            return
+        reply = engine.on_p2_request(blob)
+        self._send(sender, NetMessage("graphene_p2_response",
+                                      (root, reply), len(reply)))
+
+    def _on_graphene_p2_response(self, sender: "Node", payload) -> None:
+        root, blob = payload
+        engine = self._rx_engines.get(root)
+        if engine is None:
+            return
+        self._dispatch_receiver_action(sender, root,
+                                       engine.on_p2_response(blob))
+
+    def _on_getdata_shortids(self, sender: "Node", payload) -> None:
+        root, blob = payload
+        engine = self._tx_engines.get(root)
+        if engine is None:
+            return
+        reply = engine.on_shortid_request(blob)
+        self._send(sender, NetMessage("block_txs", (root, reply),
+                                      len(reply)))
+
+    def _on_block_txs(self, sender: "Node", payload) -> None:
+        root, blob = payload
+        engine = self._rx_engines.get(root)
+        if engine is None:
+            return
+        self._dispatch_receiver_action(sender, root,
+                                       engine.on_tx_list(blob))
+
+    # ------------------------------------------------------------------
+    # Compact Blocks wire handlers (BIP-152 message flow)
+    # ------------------------------------------------------------------
+
+    def _fallback_full_block(self, sender: "Node", root: bytes) -> None:
+        self.relay_failures += 1
+        self._send(sender, NetMessage(
+            "getdata", ("fullblock", root, 0), getdata_bytes(0)))
+
+    def _try_accept_candidate(self, sender: "Node", root: bytes,
+                              header, txs) -> bool:
+        ordered = tuple(canonical_order(list(txs)))
+        candidate = Block(header=header, txs=ordered)
+        if candidate.validate_candidate(list(ordered)):
+            self._accept_block(candidate, origin=sender)
+            return True
+        return False
+
+    def _on_cmpctblock(self, sender: "Node", payload) -> None:
+        root, header, sids, prefilled = payload
+        if root in self.blocks:
+            return
+        pool_by_sid: dict = {}
+        collided: set = set()
+        for tx in self.mempool:
+            sid = tx.short_id(SHORT_ID_BYTES)
+            if sid in pool_by_sid and pool_by_sid[sid].txid != tx.txid:
+                collided.add(sid)
+            pool_by_sid[sid] = tx
+        matched: dict = {}
+        missing: list = []
+        for idx, sid in enumerate(sids):
+            found = pool_by_sid.get(sid)
+            if found is None or sid in collided:
+                missing.append(idx)
+            else:
+                matched[idx] = found
+        txs = list(matched.values()) + list(prefilled)
+        if not missing:
+            if not self._try_accept_candidate(sender, root, header, txs):
+                self._fallback_full_block(sender, root)
+            return
+        self._cb_pending[root] = (header, txs)
+        size = (MSG_HEADER_BYTES + compact_size_len(len(missing))
+                + index_width(len(sids)) * len(missing))
+        self._send(sender, NetMessage("getblocktxn",
+                                      (root, tuple(missing)), size))
+
+    def _on_getblocktxn(self, sender: "Node", payload) -> None:
+        root, indexes = payload
+        block = self.blocks.get(root)
+        if block is None:
+            return
+        non_prefilled = [tx for tx in block.txs if not tx.is_coinbase]
+        txs = tuple(non_prefilled[i] for i in indexes
+                    if i < len(non_prefilled))
+        self._send(sender, NetMessage("blocktxn", (root, txs),
+                                      sum(tx.size for tx in txs)))
+
+    def _on_blocktxn(self, sender: "Node", payload) -> None:
+        root, txs = payload
+        pending = self._cb_pending.pop(root, None)
+        if pending is None:
+            return
+        header, partial = pending
+        if not self._try_accept_candidate(sender, root, header,
+                                          partial + list(txs)):
+            self._fallback_full_block(sender, root)
+
+    # ------------------------------------------------------------------
+    # XThin wire handlers
+    # ------------------------------------------------------------------
+
+    def _on_xthin_getdata(self, sender: "Node", payload) -> None:
+        root, bloom = payload
+        block = self.blocks.get(root)
+        if block is None:
+            return
+        pushed = tuple(tx for tx in block.txs if tx.txid not in bloom)
+        sids = tuple(tx.short_id(SHORT_ID_BYTES) for tx in block.txs)
+        size = xthin_star_bytes(block.n) + sum(tx.size for tx in pushed)
+        self._send(sender, NetMessage(
+            "xthinblock", (root, block.header, sids, pushed), size))
+
+    def _on_xthinblock(self, sender: "Node", payload) -> None:
+        root, header, sids, pushed = payload
+        if root in self.blocks:
+            return
+        pool_by_sid: dict = {}
+        collided: set = set()
+        for tx in list(self.mempool) + list(pushed):
+            sid = tx.short_id(SHORT_ID_BYTES)
+            if sid in pool_by_sid and pool_by_sid[sid].txid != tx.txid:
+                collided.add(sid)
+            pool_by_sid[sid] = tx
+        txs = []
+        complete = True
+        for sid in sids:
+            found = pool_by_sid.get(sid)
+            if found is None or sid in collided:
+                complete = False
+                break
+            txs.append(found)
+        if complete and self._try_accept_candidate(sender, root, header,
+                                                   txs):
+            return
+        self._fallback_full_block(sender, root)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_bytes_sent(self) -> int:
+        return sum(stats.bytes_sent for stats in self.stats.values())
+
+    def __repr__(self) -> str:
+        return (f"Node({self.node_id!r}, protocol={self.protocol.value}, "
+                f"mempool={len(self.mempool)}, blocks={len(self.blocks)})")

@@ -1,0 +1,108 @@
+"""A minimal event-driven network simulator.
+
+Models what the paper's motivation depends on: message delivery time is
+``latency + size / bandwidth``, so smaller block encodings propagate
+measurably faster.  Events are (time, sequence, callback) triples on a
+heap; links are FIFO per direction (a message cannot overtake an
+earlier one on the same link).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ParameterError
+
+
+@dataclass
+class Link:
+    """A directed link: latency (s), bandwidth (bytes/s), optional loss.
+
+    ``loss_rate`` models UDP-ish gossip unreliability (dropped invs and
+    transactions are what make mempool synchronization earn its keep);
+    set it to 0 for the TCP-like reliable default.
+    """
+
+    latency: float = 0.05
+    bandwidth: float = 1_000_000.0
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    #: Time at which the sender side of this link frees up (FIFO model).
+    _busy_until: float = field(default=0.0, repr=False)
+    _loss_rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ParameterError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ParameterError(
+                f"bandwidth must be > 0, got {self.bandwidth}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ParameterError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.loss_rate:
+            self._loss_rng = random.Random(self.loss_seed)
+
+    def drops(self) -> bool:
+        """Decide whether the next message is lost in transit."""
+        if not self.loss_rate:
+            return False
+        return self._loss_rng.random() < self.loss_rate
+
+    def transmit_schedule(self, now: float, nbytes: int) -> float:
+        """Return the delivery time of ``nbytes`` sent at ``now``."""
+        start = max(now, self._busy_until)
+        done_sending = start + nbytes / self.bandwidth
+        self._busy_until = done_sending
+        return done_sending + self.latency
+
+
+class Simulator:
+    """Discrete-event loop with a virtual clock."""
+
+    def __init__(self):
+        self._queue: list = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ParameterError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ParameterError(
+                f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, next(self._seq), callback))
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 1_000_000) -> float:
+        """Drain the event queue; return the final clock value.
+
+        ``until`` stops the clock at a horizon; ``max_events`` guards
+        against runaway protocols.
+        """
+        while self._queue and self.events_processed < max_events:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            self.events_processed += 1
+            callback()
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

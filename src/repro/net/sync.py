@@ -1,0 +1,199 @@
+"""Mempool synchronization between simulated peers (paper 3.2.1).
+
+Transaction gossip is lossy in practice (dropped invs, rate limits,
+spam filters); periodic Graphene mempool sync repairs the divergence.
+This module runs the 3.2.1 exchange *over the simulator's links*:
+
+    initiator                         responder
+      mempool_sync_request(m)  ---->    (treats whole mempool as block)
+      mempool_sync_p1(S, I)    <----
+      [mempool_sync_p2_req]    ---->
+      [mempool_sync_p2_resp]   <----
+      sync_fetch(short ids)    ---->
+      sync_txs(missing txs)    <----
+      sync_push(H txs)         ---->    (transactions responder lacked)
+
+Each in-flight sync is tracked by a nonce so concurrent syncs with
+different peers cannot interfere.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.protocol1 import (
+    Protocol1Payload,
+    build_protocol1,
+    receive_protocol1,
+)
+from repro.core.protocol2 import (
+    build_protocol2_request,
+    finish_protocol2,
+    respond_protocol2,
+)
+from repro.core.sizing import getdata_bytes, short_id_request_bytes
+from repro.errors import ParameterError
+
+logger = logging.getLogger(__name__)
+
+_NONCES = itertools.count(1)
+
+#: Wire commands this module adds to the node vocabulary.
+SYNC_COMMANDS = frozenset({
+    "mempool_sync_request", "mempool_sync_p1",
+    "mempool_sync_p2_req", "mempool_sync_p2_resp",
+    "sync_fetch", "sync_txs", "sync_push",
+})
+
+
+@dataclass
+class SyncState:
+    """Initiator-side state for one in-flight sync."""
+
+    nonce: int
+    peer_id: str
+    payload: Optional[Protocol1Payload] = None
+    p2_state: object = None
+    reconciled: dict = field(default_factory=dict)
+    done: bool = False
+    succeeded: bool = False
+
+
+class MempoolSyncMixin:
+    """Handlers a :class:`~repro.net.node.Node` gains for mempool sync.
+
+    ``Node`` inherits this mixin; the message dispatcher finds the
+    ``_on_mempool_sync_*`` handlers by name like any other command.
+    """
+
+    def initiate_mempool_sync(self, peer) -> int:
+        """Start a sync with ``peer``; returns the session nonce."""
+        from repro.net.messages import NetMessage
+        if peer not in self.peers:
+            raise ParameterError(
+                f"{self.node_id} is not peered with {peer.node_id}")
+        nonce = next(_NONCES)
+        self._sync_sessions[nonce] = SyncState(nonce=nonce,
+                                               peer_id=peer.node_id)
+        self._send(peer, NetMessage(
+            "mempool_sync_request", (nonce, len(self.mempool)),
+            getdata_bytes(len(self.mempool))))
+        return nonce
+
+    def sync_result(self, nonce: int) -> Optional[SyncState]:
+        return self._sync_sessions.get(nonce)
+
+    # -- responder side -------------------------------------------------
+
+    def _on_mempool_sync_request(self, sender, payload) -> None:
+        from repro.net.messages import NetMessage
+        nonce, m = payload
+        txs = self.mempool.transactions()
+        p1 = build_protocol1(txs, m, self.config,
+                             auto_prefill_coinbase=False)
+        self._sync_serving[nonce] = txs
+        self._send(sender, NetMessage(
+            "mempool_sync_p1", (nonce, p1), p1.wire_size()))
+
+    def _on_mempool_sync_p2_req(self, sender, payload) -> None:
+        from repro.net.messages import NetMessage
+        nonce, request, m = payload
+        txs = self._sync_serving.get(nonce)
+        if txs is None:
+            return
+        response = respond_protocol2(request, txs, m, self.config)
+        self._send(sender, NetMessage(
+            "mempool_sync_p2_resp", (nonce, response),
+            response.wire_size()))
+
+    def _on_sync_fetch(self, sender, payload) -> None:
+        from repro.net.messages import NetMessage
+        nonce, short_ids = payload
+        txs = self._sync_serving.get(nonce, [])
+        wanted = set(short_ids)
+        found = [tx for tx in txs
+                 if tx.short_id(self.config.short_id_bytes) in wanted]
+        self._send(sender, NetMessage(
+            "sync_txs", (nonce, tuple(found)),
+            sum(tx.size for tx in found)))
+
+    def _on_sync_push(self, sender, payload) -> None:
+        nonce, txs = payload
+        self.mempool.add_many(txs)
+        self._sync_serving.pop(nonce, None)
+
+    # -- initiator side ---------------------------------------------------
+
+    def _on_mempool_sync_p1(self, sender, payload) -> None:
+        from repro.net.messages import NetMessage
+        nonce, p1_payload = payload
+        state = self._sync_sessions.get(nonce)
+        if state is None:
+            return
+        state.payload = p1_payload
+        result = receive_protocol1(p1_payload, self.mempool, self.config,
+                                   validate_block=None)
+        if result.decode_complete:
+            state.reconciled = {tx.txid: tx for tx in result.reconciled}
+            self._finish_sync(sender, state, result.missing_short_ids)
+            return
+        request, p2_state = build_protocol2_request(
+            result, p1_payload, len(self.mempool), self.config)
+        state.p2_state = p2_state
+        self._send(sender, NetMessage(
+            "mempool_sync_p2_req",
+            (nonce, request, len(self.mempool)), request.wire_size()))
+
+    def _on_mempool_sync_p2_resp(self, sender, payload) -> None:
+        nonce, response = payload
+        state = self._sync_sessions.get(nonce)
+        if state is None or state.p2_state is None:
+            return
+        result = finish_protocol2(response, state.p2_state, self.mempool,
+                                  self.config, validate_block=None)
+        if not result.decode_complete:
+            logger.info("mempool sync %d with %s failed to decode",
+                        nonce, state.peer_id)
+            state.done = True
+            return
+        state.reconciled = dict(result.recovered)
+        self._finish_sync(sender, state, result.missing_short_ids)
+
+    def _on_sync_txs(self, sender, payload) -> None:
+        nonce, txs = payload
+        state = self._sync_sessions.get(nonce)
+        if state is None:
+            return
+        self.mempool.add_many(txs)
+        for tx in txs:
+            state.reconciled[tx.txid] = tx
+        self._push_h_set(sender, state)
+
+    def _finish_sync(self, sender, state: SyncState, missing) -> None:
+        from repro.net.messages import NetMessage
+        # Adopt everything reconciled that we did not already hold.
+        self.mempool.add_many(state.reconciled.values())
+        if missing:
+            self._send(sender, NetMessage(
+                "sync_fetch", (state.nonce, frozenset(missing)),
+                short_id_request_bytes(len(missing),
+                                       self.config.short_id_bytes)))
+            return
+        self._push_h_set(sender, state)
+
+    def _push_h_set(self, sender, state: SyncState) -> None:
+        from repro.net.messages import NetMessage
+        # H: our transactions the responder provably lacks -- everything
+        # of ours absent from the reconciled view of their mempool.
+        h_txs = tuple(tx for tx in self.mempool
+                      if tx.txid not in state.reconciled)
+        self._send(sender, NetMessage(
+            "sync_push", (state.nonce, h_txs),
+            sum(tx.size for tx in h_txs)))
+        state.done = True
+        state.succeeded = True
+        logger.debug("mempool sync %d with %s complete: pushed %d txns",
+                     state.nonce, state.peer_id, len(h_txs))

@@ -1,0 +1,90 @@
+"""Topology builders for the network simulator.
+
+Blockchain p2p networks are "often a clique among miners ... and a
+random topology among non-mining full nodes" (paper 2.2).  These
+helpers wire :class:`~repro.net.node.Node` objects accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.net.node import Node
+from repro.net.simulator import Link
+
+
+def _link(latency: float, bandwidth: float) -> Link:
+    return Link(latency=latency, bandwidth=bandwidth)
+
+
+def connect_clique(nodes: Sequence[Node], latency: float = 0.05,
+                   bandwidth: float = 1_000_000.0) -> None:
+    """Fully connect ``nodes`` (the miner core)."""
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            a.connect(b, _link(latency, bandwidth))
+
+
+def connect_line(nodes: Sequence[Node], latency: float = 0.05,
+                 bandwidth: float = 1_000_000.0) -> None:
+    """Chain ``nodes`` in a line (worst-case propagation diameter)."""
+    for a, b in zip(nodes, nodes[1:]):
+        a.connect(b, _link(latency, bandwidth))
+
+
+def connect_random_regular(nodes: Sequence[Node], degree: int = 8,
+                           latency: float = 0.05,
+                           bandwidth: float = 1_000_000.0,
+                           rng: Optional[random.Random] = None,
+                           max_retries: int = 100) -> None:
+    """Wire an (approximately) ``degree``-regular random graph.
+
+    Uses the pairing model: each node gets ``degree`` stubs, stubs are
+    shuffled and matched; self-loops and duplicate edges are retried.
+    Mirrors Bitcoin's default of 8 outbound connections.
+    """
+    if degree < 1:
+        raise ParameterError(f"degree must be >= 1, got {degree}")
+    if len(nodes) <= degree:
+        connect_clique(nodes, latency, bandwidth)
+        return
+    rng = rng or random.Random(0)
+    if len(nodes) * degree % 2:
+        raise ParameterError(
+            f"n * degree must be even: n={len(nodes)}, degree={degree}")
+    try:
+        import networkx as nx
+        for _ in range(max_retries):
+            graph = nx.random_regular_graph(degree, len(nodes),
+                                            seed=rng.randrange(2**31))
+            # Low-degree regular graphs (cycle unions at degree 2) can
+            # come out disconnected; a p2p overlay must not.
+            if nx.is_connected(graph):
+                for a, b in graph.edges:
+                    nodes[a].connect(nodes[b], _link(latency, bandwidth))
+                return
+        raise ParameterError(
+            f"no connected {degree}-regular graph on {len(nodes)} nodes "
+            f"in {max_retries} tries")
+    except ImportError:  # pragma: no cover - networkx ships with the env
+        pass
+    # Fallback: pairing model, retried until a simple graph emerges.
+    for _ in range(max_retries):
+        stubs = [node for node in nodes for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for a, b in zip(stubs[::2], stubs[1::2]):
+            if a is b or (id(a), id(b)) in edges or (id(b), id(a)) in edges:
+                ok = False
+                break
+            edges.add((id(a), id(b)))
+        if ok:
+            by_id = {id(node): node for node in nodes}
+            for ida, idb in edges:
+                by_id[ida].connect(by_id[idb], _link(latency, bandwidth))
+            return
+    raise ParameterError(
+        f"failed to build a {degree}-regular graph in {max_retries} tries")

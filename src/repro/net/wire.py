@@ -1,0 +1,23 @@
+"""Compatibility shim: the wire codecs live in :mod:`repro.codec`.
+
+They moved out of the ``net`` package so that :mod:`repro.core.engine`
+can encode messages without importing the network simulator (which
+itself imports the engine -- a cycle otherwise).
+"""
+
+from repro.codec import (  # noqa: F401
+    decode_bloom,
+    decode_iblt,
+    decode_protocol1_payload,
+    decode_protocol2_request,
+    decode_protocol2_response,
+    decode_transaction,
+    decode_tx_list,
+    encode_bloom,
+    encode_iblt,
+    encode_protocol1_payload,
+    encode_protocol2_request,
+    encode_protocol2_response,
+    encode_transaction,
+    encode_tx_list,
+)

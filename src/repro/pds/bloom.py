@@ -1,0 +1,166 @@
+"""A from-scratch Bloom filter.
+
+The Graphene protocols size their filters straight from the target false
+positive rate, so this implementation exposes the same knobs the paper's
+equations use:
+
+* ``BloomFilter.from_fpr(n, f)`` builds a filter for ``n`` insertions with
+  false positive rate ``f``, occupying ``-n log2(f) / (8 ln 2)`` bytes --
+  the ``T_BF`` term of Eq. 2.
+* ``f >= 1`` degenerates to a match-everything filter of zero bytes; the
+  paper leans on this when ``m - n`` approaches zero ("the special case
+  where Graphene has an FPR of 1 is equivalent to not sending a Bloom
+  filter at all").
+
+Items are inserted by slicing their digest into ``k`` index words
+(hash-splitting, section 6.3) rather than rehashing ``k`` times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ParameterError
+from repro.utils.hashing import sha256, split_digest
+
+_LN2 = math.log(2.0)
+_LN2_SQ = _LN2 * _LN2
+
+
+def bloom_size_bits(n: int, f: float) -> int:
+    """Return the optimal bit count for ``n`` items at false positive rate ``f``."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 < f:
+        raise ParameterError(f"FPR must be positive, got {f}")
+    if n == 0 or f >= 1.0:
+        return 0
+    return max(1, math.ceil(-n * math.log(f) / _LN2_SQ))
+
+
+def bloom_size_bytes(n: int, f: float) -> int:
+    """Return the serialized size in bytes of an optimal filter (Eq. 2's T_BF)."""
+    return (bloom_size_bits(n, f) + 7) // 8
+
+
+def optimal_hash_count(bits: int, n: int) -> int:
+    """Return the FPR-minimizing number of hash functions, ``(bits/n) ln 2``."""
+    if n <= 0 or bits <= 0:
+        return 1
+    return max(1, round(bits / n * _LN2))
+
+
+class BloomFilter:
+    """Bloom filter over byte-string items (transaction IDs).
+
+    Parameters
+    ----------
+    nbits:
+        Size of the bit array.  ``0`` creates a degenerate filter that
+        reports every item as present and serializes to zero bytes.
+    k:
+        Number of hash functions.
+    seed:
+        Mixed into the item digest so that independent filters (S, R, F in
+        the protocols) make independent mistakes.
+    """
+
+    __slots__ = ("nbits", "k", "seed", "count", "_bits", "_target_fpr")
+
+    def __init__(self, nbits: int, k: int, seed: int = 0):
+        if nbits < 0:
+            raise ParameterError(f"nbits must be non-negative, got {nbits}")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self.nbits = nbits
+        self.k = k
+        self.seed = seed
+        self.count = 0
+        self._bits = bytearray((nbits + 7) // 8)
+        self._target_fpr = 1.0
+
+    @classmethod
+    def from_fpr(cls, n: int, fpr: float, seed: int = 0) -> "BloomFilter":
+        """Build a filter sized optimally for ``n`` items at rate ``fpr``.
+
+        ``fpr`` is clamped to 1.0; at or above 1.0 the filter is
+        degenerate (zero bits, matches everything), which is exactly the
+        behaviour Protocol 1 wants as ``m - n`` approaches zero.
+        """
+        if n < 0:
+            raise ParameterError(f"n must be non-negative, got {n}")
+        if fpr <= 0.0:
+            raise ParameterError(f"fpr must be positive, got {fpr}")
+        if fpr >= 1.0 or n == 0:
+            filt = cls(0, 1, seed=seed)
+            filt._target_fpr = 1.0
+            return filt
+        nbits = bloom_size_bits(n, fpr)
+        k = optimal_hash_count(nbits, n)
+        filt = cls(nbits, k, seed=seed)
+        filt._target_fpr = fpr
+        return filt
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the filter matches everything (zero-bit filter)."""
+        return self.nbits == 0
+
+    @property
+    def target_fpr(self) -> float:
+        """The FPR this filter was sized for (1.0 when degenerate)."""
+        return self._target_fpr
+
+    def _digest(self, item: bytes) -> bytes:
+        if self.seed:
+            return sha256(self.seed.to_bytes(8, "little") + item)
+        # Transaction IDs are already cryptographic hashes; reuse them
+        # directly (hash-splitting, paper 6.3) when no reseeding is needed.
+        return item if len(item) >= 32 else sha256(item)
+
+    def insert(self, item: bytes) -> None:
+        """Insert ``item`` (a byte string, typically a 32-byte txid)."""
+        self.count += 1
+        if self.nbits == 0:
+            return
+        for idx in split_digest(self._digest(item), self.k, self.nbits):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+
+    def update(self, items: Iterable[bytes]) -> None:
+        """Insert every item of ``items``."""
+        for item in items:
+            self.insert(item)
+
+    def __contains__(self, item: bytes) -> bool:
+        if self.nbits == 0:
+            return True
+        digest = self._digest(item)
+        return all(
+            self._bits[idx >> 3] & (1 << (idx & 7))
+            for idx in split_digest(digest, self.k, self.nbits)
+        )
+
+    def actual_fpr(self) -> float:
+        """Expected FPR given the current load: ``(1 - e^{-kn/m})^k``."""
+        if self.nbits == 0:
+            return 1.0
+        if self.count == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.k * self.count / self.nbits)
+        return fill ** self.k
+
+    def serialized_size(self) -> int:
+        """Wire size in bytes: the bit array plus a small fixed header.
+
+        Header: 4 bytes bit-count + 1 byte hash-count + 4 bytes seed,
+        mirroring the filterload layout of BIP-37.
+        """
+        return len(self._bits) + 9
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"BloomFilter(nbits={self.nbits}, k={self.k}, "
+                f"count={self.count}, fpr~{self.actual_fpr():.2e})")

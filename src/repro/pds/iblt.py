@@ -1,0 +1,256 @@
+"""A from-scratch Invertible Bloom Lookup Table (IBLT).
+
+Follows the construction of Goodrich & Mitzenmacher as summarized in
+section 2.1 of the paper:
+
+* ``c`` cells partitioned into ``k`` contiguous ranges of ``c/k`` cells;
+  each item is inserted once per partition at an index chosen by that
+  partition's hash function (this is the k-partite hypergraph view of
+  section 4.1).
+* Each cell stores a signed ``count``, the xor of all inserted keys
+  (``keySum``) and the xor of a per-key checksum (``checkSum``).  The
+  checksum catches the "x values minus a non-subset of x-1 values"
+  special case the paper describes.
+* Two IBLTs with identical ``(c, k, seed)`` can be subtracted cell-wise;
+  peeling the result recovers the symmetric difference of the inserted
+  sets, or fails partially if the difference exceeds what ``c`` supports.
+
+Keys are 64-bit integers -- the 8-byte short transaction IDs that
+Graphene stores in its IBLTs.
+
+The decode loop includes the section 6.1 mitigation for adversarially
+malformed IBLTs: if the same key is peeled twice, decoding halts with
+:class:`~repro.errors.MalformedIBLTError` instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import MalformedIBLTError, ParameterError
+from repro.utils.hashing import DerivedHasher
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Default serialized cell width in bytes: 2 (count) + 8 (keySum) + 2 (checkSum).
+DEFAULT_CELL_BYTES = 12
+
+#: Fixed per-IBLT wire header: cell count (4) + k (1) + seed (4) + salt (3).
+IBLT_HEADER_BYTES = 12
+
+
+@dataclass
+class IBLTCell:
+    """One IBLT cell: signed count, xor-of-keys, xor-of-checksums."""
+
+    count: int = 0
+    key_sum: int = 0
+    check_sum: int = 0
+
+    def is_empty(self) -> bool:
+        return self.count == 0 and self.key_sum == 0 and self.check_sum == 0
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of peeling a (possibly subtracted) IBLT.
+
+    Attributes
+    ----------
+    complete:
+        True when every cell emptied -- the full symmetric difference was
+        recovered.
+    local:
+        Keys present only in the left operand (cells with count +1).
+    remote:
+        Keys present only in the right operand (cells with count -1).
+    """
+
+    complete: bool
+    local: frozenset = field(default_factory=frozenset)
+    remote: frozenset = field(default_factory=frozenset)
+
+    def __iter__(self) -> Iterator:
+        # Allow ``complete, local, remote = iblt.decode()`` unpacking.
+        return iter((self.complete, self.local, self.remote))
+
+
+class IBLT:
+    """Invertible Bloom Lookup Table over 64-bit keys.
+
+    Parameters
+    ----------
+    cells:
+        Total number of cells.  Rounded up to a multiple of ``k``.
+    k:
+        Number of hash functions / partitions.
+    seed:
+        Seed of the hash family.  Sibling IBLTs intended for ping-pong
+        decoding must use *different* seeds (paper 4.2).
+    cell_bytes:
+        Serialized width of one cell, for wire-size accounting.
+    """
+
+    __slots__ = ("cells", "k", "seed", "cell_bytes", "hasher", "_table", "count")
+
+    def __init__(self, cells: int, k: int = 4, seed: int = 0,
+                 cell_bytes: int = DEFAULT_CELL_BYTES):
+        if cells < 1:
+            raise ParameterError(f"cells must be >= 1, got {cells}")
+        if k < 2:
+            raise ParameterError(f"k must be >= 2, got {k}")
+        if cell_bytes < 1:
+            raise ParameterError(f"cell_bytes must be >= 1, got {cell_bytes}")
+        # Round up so the cell array divides evenly into k partitions.
+        if cells % k:
+            cells += k - cells % k
+        self.cells = cells
+        self.k = k
+        self.seed = seed
+        self.cell_bytes = cell_bytes
+        self.hasher = DerivedHasher(k, seed=seed)
+        self._table = [IBLTCell() for _ in range(cells)]
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+
+    def _apply(self, key: int, delta: int) -> None:
+        key &= _U64
+        csum = self.hasher.checksum(key)
+        for idx in self.hasher.partitioned_indices(key, self.cells):
+            cell = self._table[idx]
+            cell.count += delta
+            cell.key_sum ^= key
+            cell.check_sum ^= csum
+
+    def insert(self, key: int) -> None:
+        """Insert a 64-bit key."""
+        self._apply(key, +1)
+        self.count += 1
+
+    def erase(self, key: int) -> None:
+        """Remove a key previously inserted (or force a count of -1)."""
+        self._apply(key, -1)
+        self.count -= 1
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert every key of ``keys``."""
+        for key in keys:
+            self.insert(key)
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[int], cells: int, k: int = 4,
+                  seed: int = 0, cell_bytes: int = DEFAULT_CELL_BYTES) -> "IBLT":
+        """Build an IBLT containing ``keys``."""
+        iblt = cls(cells, k=k, seed=seed, cell_bytes=cell_bytes)
+        iblt.update(keys)
+        return iblt
+
+    def copy(self) -> "IBLT":
+        """Return a deep copy."""
+        clone = IBLT(self.cells, k=self.k, seed=self.seed,
+                     cell_bytes=self.cell_bytes)
+        for mine, theirs in zip(clone._table, self._table):
+            mine.count = theirs.count
+            mine.key_sum = theirs.key_sum
+            mine.check_sum = theirs.check_sum
+        clone.count = self.count
+        return clone
+
+    # ------------------------------------------------------------------
+    # Set reconciliation
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "IBLT") -> bool:
+        """True when ``other`` can be subtracted from this IBLT."""
+        return (self.cells == other.cells and self.k == other.k
+                and self.seed == other.seed)
+
+    def subtract(self, other: "IBLT") -> "IBLT":
+        """Return the cell-wise difference ``self (-) other``.
+
+        Peeling the result recovers keys unique to ``self`` with count +1
+        and keys unique to ``other`` with count -1.
+        """
+        if not self.compatible_with(other):
+            raise ParameterError(
+                "IBLTs must share (cells, k, seed) to be subtracted: "
+                f"({self.cells},{self.k},{self.seed}) vs "
+                f"({other.cells},{other.k},{other.seed})")
+        diff = IBLT(self.cells, k=self.k, seed=self.seed,
+                    cell_bytes=self.cell_bytes)
+        for out, a, b in zip(diff._table, self._table, other._table):
+            out.count = a.count - b.count
+            out.key_sum = a.key_sum ^ b.key_sum
+            out.check_sum = a.check_sum ^ b.check_sum
+        diff.count = self.count - other.count
+        return diff
+
+    def __sub__(self, other: "IBLT") -> "IBLT":
+        return self.subtract(other)
+
+    def _is_pure(self, cell: IBLTCell) -> bool:
+        # Purity rests on the checksum alone: a cell whose keySum happens
+        # to xor to zero (including the legitimate key 0) is still pure
+        # iff the checkSum matches that key's checksum.
+        return (cell.count in (1, -1)
+                and self.hasher.checksum(cell.key_sum) == cell.check_sum)
+
+    def peel(self, key: int, sign: int) -> None:
+        """Remove a key known (from elsewhere) to be in this difference.
+
+        Used by ping-pong decoding (paper 4.2): items recovered from a
+        sibling IBLT are peeled out of this one before retrying.  ``sign``
+        is +1 for a local-only key, -1 for a remote-only key.
+        """
+        if sign not in (1, -1):
+            raise ParameterError(f"sign must be +1 or -1, got {sign}")
+        self._apply(key, -sign if sign == 1 else 1)
+
+    def decode(self) -> DecodeResult:
+        """Peel this IBLT, returning the recovered symmetric difference.
+
+        Non-destructive: peeling operates on a scratch copy.  Raises
+        :class:`MalformedIBLTError` when the same key is recovered twice,
+        the section 6.1 defence against adversarial endless-loop IBLTs.
+        """
+        scratch = self.copy()
+        local: set = set()
+        remote: set = set()
+        stack = [i for i, cell in enumerate(scratch._table)
+                 if scratch._is_pure(cell)]
+        while stack:
+            idx = stack.pop()
+            cell = scratch._table[idx]
+            if not scratch._is_pure(cell):
+                continue
+            key = cell.key_sum
+            sign = cell.count
+            if key in local or key in remote:
+                raise MalformedIBLTError(
+                    f"key {key:#x} decoded twice; IBLT is malformed")
+            (local if sign == 1 else remote).add(key)
+            scratch._apply(key, -sign)
+            for nxt in scratch.hasher.partitioned_indices(key, scratch.cells):
+                if scratch._is_pure(scratch._table[nxt]):
+                    stack.append(nxt)
+        complete = all(cell.is_empty() for cell in scratch._table)
+        return DecodeResult(complete, frozenset(local), frozenset(remote))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def serialized_size(self) -> int:
+        """Wire size in bytes: header plus ``cells * cell_bytes``."""
+        return IBLT_HEADER_BYTES + self.cells * self.cell_bytes
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"IBLT(cells={self.cells}, k={self.k}, seed={self.seed}, "
+                f"count={self.count})")

@@ -1,0 +1,160 @@
+"""Optimal IBLT parameter tables and the lookup the protocols use.
+
+Algorithm 1 is a Monte-Carlo search; running it inline every time a
+protocol needs an IBLT would dominate runtime.  Like the paper's released
+implementation, we run the search once per target decode rate over a grid
+of ``j`` values and ship the results as CSV files
+(``src/repro/pds/data/iblt_params_<denom>.csv`` for failure rate
+``1/denom``).  "For any given rate, the parameter file can be generated
+once ever and be universally applicable to any IBLT implementation."
+
+Lookups are conservative in two ways:
+
+* a request between grid points uses the next *larger* grid entry, whose
+  certified decode rate at a smaller item count is at least as good
+  (decode success is monotone non-increasing in items for fixed shape);
+* a request beyond the table extrapolates with the largest entry's hedge
+  factor plus a safety margin.
+
+If a table file is missing (e.g. mid-regeneration), a deliberately
+generous built-in fallback keeps every protocol functional.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from importlib import resources
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ParameterError
+
+#: Decode failure rates the paper evaluates (Fig. 7): 1/24, 1/240, 1/2400.
+SUPPORTED_DENOMS = (24, 240, 2400)
+
+#: Default target: beta = 239/240, like every experiment in the paper.
+DEFAULT_DENOM = 240
+
+_EXTRAPOLATION_MARGIN = 1.05
+
+# (max_j, tau, k): generous shapes used only when no CSV is available.
+_FALLBACK_ROWS = (
+    (2, 16.0, 4),
+    (5, 12.0, 4),
+    (10, 6.0, 4),
+    (30, 3.0, 4),
+    (100, 2.0, 4),
+    (300, 1.7, 4),
+    (10**9, 1.6, 4),
+)
+
+
+@dataclass(frozen=True)
+class IBLTParams:
+    """Shape of one IBLT: total cells and hash-function count."""
+
+    cells: int
+    k: int
+
+    @property
+    def partition_width(self) -> int:
+        return self.cells // self.k
+
+
+class IBLTParamTable:
+    """Maps a symmetric-difference size ``j`` to an optimal IBLT shape."""
+
+    def __init__(self, rows: list[tuple[int, int, int]], denom: int):
+        """``rows`` are ``(j, k, cells)`` triples sorted by ``j``."""
+        if not rows:
+            raise ParameterError("parameter table must not be empty")
+        self.denom = denom
+        self.rows = sorted(rows)
+        self._max_j, max_k, max_cells = self.rows[-1]
+        self._tail_tau = max_cells / self._max_j
+        self._tail_k = max_k
+
+    @classmethod
+    def from_csv(cls, path, denom: int) -> "IBLTParamTable":
+        rows = []
+        with open(path, newline="") as handle:
+            for record in csv.DictReader(handle):
+                rows.append((int(record["j"]), int(record["k"]),
+                             int(record["cells"])))
+        return cls(rows, denom)
+
+    @classmethod
+    def fallback(cls, denom: int) -> "IBLTParamTable":
+        """Generous built-in table used when no CSV has been generated."""
+        rows = []
+        grid = [1, 2, 3, 5, 8, 10, 20, 30, 50, 100, 200, 300, 500, 1000]
+        for j in grid:
+            tau, k = next(
+                (tau, k) for max_j, tau, k in _FALLBACK_ROWS if j <= max_j)
+            cells = math.ceil(j * tau)
+            cells += -cells % k
+            rows.append((j, k, max(cells, k)))
+        return cls(rows, denom)
+
+    def params_for(self, j: int) -> IBLTParams:
+        """Return a shape certified to decode ``j`` items at the table's rate."""
+        if j < 0:
+            raise ParameterError(f"j must be non-negative, got {j}")
+        if j == 0:
+            k = self.rows[0][1]
+            return IBLTParams(cells=k, k=k)
+        if j <= self._max_j:
+            for row_j, k, cells in self.rows:
+                if row_j >= j:
+                    return IBLTParams(cells=cells, k=k)
+        k = self._tail_k
+        cells = math.ceil(j * self._tail_tau * _EXTRAPOLATION_MARGIN)
+        cells += -cells % k
+        return IBLTParams(cells=cells, k=k)
+
+    def tau_for(self, j: int) -> float:
+        """Hedge factor ``tau`` (cells per item) for a difference of ``j``."""
+        params = self.params_for(max(j, 1))
+        return params.cells / max(j, 1)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (f"IBLTParamTable(denom={self.denom}, entries={len(self.rows)}, "
+                f"max_j={self._max_j})")
+
+
+_CACHE: dict = {}
+
+
+def _data_path(denom: int) -> Optional[Path]:
+    try:
+        root = resources.files("repro.pds") / "data" / f"iblt_params_{denom}.csv"
+    except (ModuleNotFoundError, TypeError):  # pragma: no cover
+        return None
+    path = Path(str(root))
+    return path if path.exists() else None
+
+
+def default_param_table(denom: int = DEFAULT_DENOM) -> IBLTParamTable:
+    """Return the shipped table for failure rate ``1/denom`` (cached).
+
+    Falls back to :meth:`IBLTParamTable.fallback` when the CSV is absent.
+    """
+    if denom <= 1:
+        raise ParameterError(f"denom must exceed 1, got {denom}")
+    if denom in _CACHE:
+        return _CACHE[denom]
+    path = _data_path(denom)
+    table = (IBLTParamTable.from_csv(path, denom) if path is not None
+             else IBLTParamTable.fallback(denom))
+    _CACHE[denom] = table
+    return table
+
+
+def clear_cache() -> None:
+    """Drop cached tables (used by tests that swap data files)."""
+    _CACHE.clear()

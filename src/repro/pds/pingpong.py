@@ -1,0 +1,101 @@
+"""Ping-pong decoding of two sibling IBLTs (paper section 4.2).
+
+Graphene Protocol 2 leaves the receiver holding two subtracted IBLTs --
+``I (-) I'`` from Protocol 1 and ``J (-) J'`` from Protocol 2 -- built
+over (roughly) the same symmetric difference but with independent hash
+families.  When one fails to decode fully, the items its sibling *did*
+recover can be peeled out of it, possibly unlocking further peeling; the
+roles then alternate until neither side makes progress or one side
+empties.  The paper measures this to improve Protocol 2's decode rate by
+several orders of magnitude (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.pds.iblt import IBLT, DecodeResult
+
+
+def pingpong_decode(first: IBLT, second: IBLT) -> DecodeResult:
+    """Jointly decode two subtracted IBLTs over the same set difference.
+
+    Parameters are *difference* IBLTs (results of :meth:`IBLT.subtract`).
+    They must use independent hash seeds to be useful; this is the
+    caller's responsibility (the protocols always do).
+
+    Returns a :class:`DecodeResult` whose ``local``/``remote`` sets are
+    the union of everything recovered from either IBLT and whose
+    ``complete`` flag reports whether *either* side fully emptied --
+    which certifies the union is the entire symmetric difference.
+    """
+    sides = [first.copy(), second.copy()]
+    known: list[set] = [set(), set()]  # [local(+1), remote(-1)] keys seen
+    while True:
+        progressed = False
+        for idx, side in enumerate(sides):
+            result = side.decode()
+            if result.complete:
+                # This sibling accounted for every remaining item; together
+                # with what was already peeled, the difference is complete.
+                return DecodeResult(
+                    True,
+                    frozenset(known[0] | result.local),
+                    frozenset(known[1] | result.remote),
+                )
+            other = sides[1 - idx]
+            for sign, keys in ((1, result.local), (-1, result.remote)):
+                bucket = known[0] if sign == 1 else known[1]
+                for key in keys:
+                    if key in bucket:
+                        continue
+                    bucket.add(key)
+                    progressed = True
+                    # Remove from both: 'side' so its own retry shrinks,
+                    # 'other' so the sibling can keep peeling.
+                    side.peel(key, sign)
+                    other.peel(key, sign)
+        if not progressed:
+            return DecodeResult(False, frozenset(known[0]), frozenset(known[1]))
+
+
+def pingpong_decode_many(diffs: Sequence[IBLT]) -> DecodeResult:
+    """Jointly decode any number of sibling difference IBLTs.
+
+    The paper (end of section 4.2) suggests this extension: "a receiver
+    could ask many neighbors for the same block and the IBLTs can be
+    jointly decoded with this approach."  Each round, every IBLT is
+    partially decoded and all newly recovered items are peeled out of
+    every sibling; the loop ends when any IBLT empties (full recovery
+    certified) or no sibling makes progress.
+
+    All inputs must be difference IBLTs over the same symmetric
+    difference, built with mutually independent hash seeds.
+    """
+    if not diffs:
+        raise ParameterError("need at least one IBLT")
+    sides = [iblt.copy() for iblt in diffs]
+    known_local: set = set()
+    known_remote: set = set()
+    while True:
+        progressed = False
+        for side in sides:
+            result = side.decode()
+            if result.complete:
+                return DecodeResult(
+                    True,
+                    frozenset(known_local | result.local),
+                    frozenset(known_remote | result.remote))
+            for sign, keys, bucket in ((1, result.local, known_local),
+                                       (-1, result.remote, known_remote)):
+                for key in keys:
+                    if key in bucket:
+                        continue
+                    bucket.add(key)
+                    progressed = True
+                    for other in sides:
+                        other.peel(key, sign)
+        if not progressed:
+            return DecodeResult(False, frozenset(known_local),
+                                frozenset(known_remote))

@@ -1,0 +1,45 @@
+"""Malformed IBLTs (paper 6.1, "Malformed IBLTs").
+
+    "To create a malformed IBLT, the attacker incorrectly inserts an
+    item into only k - 1 cells.  When the item is peeled off, one cell
+    in the IBLT will contain the item with a count of -1.  When that
+    entry is peeled, k - 1 cells will contain the item with a count of
+    1; and the loop continues.  The attack is thwarted if the
+    implementation halts decoding when an item is decoded twice."
+
+:func:`make_malformed_iblt` builds exactly that object so tests and
+benches can verify :meth:`repro.pds.iblt.IBLT.decode` raises
+:class:`~repro.errors.MalformedIBLTError` instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ParameterError
+from repro.pds.iblt import IBLT
+
+
+def make_malformed_iblt(cells: int = 60, k: int = 4, seed: int = 0,
+                        poison_key: int = 0xDEADBEEF,
+                        honest_keys: Optional[Iterable[int]] = None) -> IBLT:
+    """Return an IBLT where ``poison_key`` was inserted into only k-1 cells.
+
+    ``honest_keys`` are inserted normally first, so the malformed entry
+    hides inside otherwise plausible content.
+    """
+    if k < 3:
+        raise ParameterError(f"attack needs k >= 3, got {k}")
+    iblt = IBLT(cells, k=k, seed=seed)
+    if honest_keys:
+        iblt.update(honest_keys)
+    key = poison_key & 0xFFFFFFFFFFFFFFFF
+    csum = iblt.hasher.checksum(key)
+    indices = iblt.hasher.partitioned_indices(key, iblt.cells)
+    for idx in indices[:-1]:  # skip the last cell: the malformation
+        cell = iblt._table[idx]
+        cell.count += 1
+        cell.key_sum ^= key
+        cell.check_sum ^= csum
+    iblt.count += 1
+    return iblt

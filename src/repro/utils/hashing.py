@@ -1,0 +1,139 @@
+"""Hashing helpers used by every probabilistic data structure in the package.
+
+Two idioms from the paper live here:
+
+* **Hash splitting** (paper 6.3): transaction IDs are already the output of
+  a cryptographic hash, so instead of rehashing an item ``k`` times for a
+  Bloom filter, we slice the 32-byte digest into ``k`` independent pieces.
+  :func:`split_digest` implements the slicing and falls back to cheap
+  derived hashing when ``k`` pieces do not fit.
+
+* **Derived hashing** (Kirsch & Mitzenmacher): ``h_i(x) = h1(x) + i*h2(x)``
+  gives an arbitrary number of independent-enough hash functions from two
+  base values.  :class:`DerivedHasher` packages this with a seed so that
+  sibling IBLTs can use independent hash families (required by ping-pong
+  decoding, paper 4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterator
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def short_id(txid: bytes, nbytes: int = 8) -> int:
+    """Truncate a full transaction ID to an ``nbytes``-byte integer.
+
+    The paper's IBLT stores only the first 8 bytes of each transaction ID
+    (Protocol 1, step 3 note); Compact Blocks uses 6, XThin uses 8.
+    """
+    if not 1 <= nbytes <= len(txid):
+        raise ValueError(f"nbytes must be in [1, {len(txid)}], got {nbytes}")
+    return int.from_bytes(txid[:nbytes], "little")
+
+
+def split_digest(digest: bytes, k: int, modulus: int) -> Iterator[int]:
+    """Yield ``k`` hash values in ``[0, modulus)`` by slicing ``digest``.
+
+    Implements the hash-splitting optimization of paper section 6.3: the
+    32-byte digest is broken into 4-byte words, each word serving as one
+    hash value.  When more than ``len(digest) // 4`` values are requested,
+    the remainder are produced with derived hashing seeded from the first
+    two words, preserving the "no extra cryptographic hashing" property.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    nwords = len(digest) // 4
+    words = struct.unpack(f"<{nwords}I", digest[: 4 * nwords])
+    direct = min(k, nwords)
+    for i in range(direct):
+        yield words[i] % modulus
+    if k > nwords:
+        h1, h2 = words[0], words[1] | 1
+        for i in range(nwords, k):
+            yield ((h1 + i * h2) & _U64) % modulus
+
+
+class DerivedHasher:
+    """A family of ``k`` hash functions over 64-bit keys.
+
+    Uses the Kirsch-Mitzenmacher construction ``h_i(x) = h1 + i*h2`` where
+    ``h1`` and ``h2`` are halves of a seeded SHA-256 of the key.  Each
+    instance is deterministic given ``(seed, k)``; different seeds give
+    (statistically) independent families, which is what ping-pong decoding
+    requires of the two IBLTs.
+    """
+
+    __slots__ = ("seed", "k", "_prefix")
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        self._prefix = struct.pack("<Q", seed & _U64)
+
+    def base_pair(self, key: int) -> tuple[int, int]:
+        """Return the ``(h1, h2)`` base values for ``key``."""
+        digest = hashlib.sha256(self._prefix + struct.pack("<Q", key & _U64)).digest()
+        h1, h2 = struct.unpack("<QQ", digest[:16])
+        return h1, h2 | 1
+
+    def _words(self, key: int, need: int) -> list[int]:
+        """Return ``need`` independent 64-bit hash words for ``key``.
+
+        Each SHA-256 invocation yields four words; a counter extends the
+        stream for large ``k``.  Independence across positions matters
+        for IBLTs: deriving position ``i`` as ``h1 + i*h2`` (fine for
+        Bloom filters) would make every edge an arithmetic progression,
+        shrinking the effective edge space quadratically and creating
+        spurious 2-cores via birthday collisions.
+        """
+        words: list[int] = []
+        counter = 0
+        packed_key = struct.pack("<Q", key & _U64)
+        while len(words) < need:
+            digest = hashlib.sha256(
+                self._prefix + struct.pack("<I", counter) + packed_key).digest()
+            words.extend(struct.unpack("<QQQQ", digest))
+            counter += 1
+        return words[:need]
+
+    def indices(self, key: int, modulus: int) -> list[int]:
+        """Return ``k`` independent indices in ``[0, modulus)`` for ``key``."""
+        return [w % modulus for w in self._words(key, self.k)]
+
+    def partitioned_indices(self, key: int, cells: int) -> list[int]:
+        """Return one index per partition for an IBLT with ``cells`` cells.
+
+        The IBLT's cell array is split into ``k`` contiguous partitions of
+        ``cells // k`` cells each and hash function ``i`` covers only
+        partition ``i`` (paper 2.1), mirroring the k-partite hypergraph of
+        section 4.1.
+        """
+        if cells % self.k != 0:
+            raise ValueError(
+                f"cell count {cells} not divisible by k={self.k}")
+        width = cells // self.k
+        return [
+            i * width + (w % width)
+            for i, w in enumerate(self._words(key, self.k))
+        ]
+
+    def checksum(self, key: int, bits: int = 16) -> int:
+        """Return a ``bits``-bit checksum of ``key`` for IBLT cells."""
+        h1, h2 = self.base_pair(key)
+        return (h1 ^ (h2 >> 7)) & ((1 << bits) - 1)
+
+    def __repr__(self) -> str:
+        return f"DerivedHasher(k={self.k}, seed={self.seed})"

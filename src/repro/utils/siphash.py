@@ -1,0 +1,65 @@
+"""Pure-Python SipHash-2-4.
+
+The paper (section 6.1) notes that SipHash [Aumasson & Bernstein 2012] is
+used by blockchain protocols (BIP-152 Compact Blocks among them) to key
+short transaction IDs per-connection, limiting manufactured-collision
+attacks to a single peer.  We implement SipHash-2-4 from scratch so the
+collision-attack experiments can exercise the real construction.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl(x: int, b: int) -> int:
+    return ((x << b) | (x >> (64 - b))) & _MASK
+
+
+def siphash24(key: bytes, data: bytes) -> int:
+    """Return the 64-bit SipHash-2-4 of ``data`` under the 16-byte ``key``."""
+    if len(key) != 16:
+        raise ValueError(f"SipHash key must be 16 bytes, got {len(key)}")
+    k0, k1 = struct.unpack("<QQ", key)
+    v0 = k0 ^ 0x736F6D6570736575
+    v1 = k1 ^ 0x646F72616E646F6D
+    v2 = k0 ^ 0x6C7967656E657261
+    v3 = k1 ^ 0x7465646279746573
+
+    def sipround(v0: int, v1: int, v2: int, v3: int):
+        v0 = (v0 + v1) & _MASK
+        v1 = _rotl(v1, 13) ^ v0
+        v0 = _rotl(v0, 32)
+        v2 = (v2 + v3) & _MASK
+        v3 = _rotl(v3, 16) ^ v2
+        v0 = (v0 + v3) & _MASK
+        v3 = _rotl(v3, 21) ^ v0
+        v2 = (v2 + v1) & _MASK
+        v1 = _rotl(v1, 17) ^ v2
+        v2 = _rotl(v2, 32)
+        return v0, v1, v2, v3
+
+    b = len(data) & 0xFF
+    full_blocks = len(data) // 8
+    for i in range(full_blocks):
+        (m,) = struct.unpack_from("<Q", data, i * 8)
+        v3 ^= m
+        v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+        v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+        v0 ^= m
+
+    tail = data[full_blocks * 8:]
+    m = b << 56
+    for i, byte in enumerate(tail):
+        m |= byte << (8 * i)
+    v3 ^= m
+    v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+    v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+    v0 ^= m
+
+    v2 ^= 0xFF
+    for _ in range(4):
+        v0, v1, v2, v3 = sipround(v0, v1, v2, v3)
+    return (v0 ^ v1 ^ v2 ^ v3) & _MASK

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.scenarios import make_block_scenario, make_sync_scenario
+from repro.chain.transaction import TransactionGenerator
+from repro.core.params import GrapheneConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random source."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def config():
+    """Default Graphene configuration (paper parameters)."""
+    return GrapheneConfig()
+
+
+@pytest.fixture
+def txgen():
+    """A deterministic transaction factory."""
+    return TransactionGenerator(seed=1234)
+
+
+@pytest.fixture
+def small_scenario():
+    """A fully synchronized 100-txn block scenario (Protocol 1 regime)."""
+    return make_block_scenario(n=100, extra=100, fraction=1.0, seed=99)
+
+
+@pytest.fixture
+def missing_scenario():
+    """A scenario where the receiver misses 10% of the block (Protocol 2)."""
+    return make_block_scenario(n=100, extra=100, fraction=0.9, seed=77)
+
+
+@pytest.fixture
+def sync_scenario():
+    """Two mempools of equal size sharing half their content."""
+    return make_sync_scenario(n=200, fraction_common=0.5, seed=55)

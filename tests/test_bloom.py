@@ -1,0 +1,152 @@
+"""Tests for the from-scratch Bloom filter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pds.bloom import (
+    BloomFilter,
+    bloom_size_bits,
+    bloom_size_bytes,
+    optimal_hash_count,
+)
+from repro.utils.hashing import sha256
+
+
+def _ids(count, tag=b""):
+    return [sha256(tag + i.to_bytes(4, "little")) for i in range(count)]
+
+
+class TestSizing:
+    def test_matches_paper_formula(self):
+        # T_BF = -n ln(f) / (8 ln^2 2) bytes (Eq. 2).
+        n, f = 2000, 0.01
+        expected = -n * math.log(f) / (8 * math.log(2) ** 2)
+        assert bloom_size_bytes(n, f) == pytest.approx(expected, abs=2)
+
+    def test_lower_fpr_means_bigger(self):
+        assert bloom_size_bits(100, 0.001) > bloom_size_bits(100, 0.01)
+
+    def test_fpr_one_is_zero_bits(self):
+        assert bloom_size_bits(100, 1.0) == 0
+
+    def test_zero_items_zero_bits(self):
+        assert bloom_size_bits(0, 0.01) == 0
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ParameterError):
+            bloom_size_bits(-1, 0.5)
+
+    def test_rejects_nonpositive_fpr(self):
+        with pytest.raises(ParameterError):
+            bloom_size_bits(10, 0.0)
+
+    def test_optimal_hash_count(self):
+        # k = (bits/n) ln 2; for f = 1/2^10 expect about 10 hashes.
+        n = 1000
+        bits = bloom_size_bits(n, 2**-10)
+        assert 8 <= optimal_hash_count(bits, n) <= 12
+
+    def test_optimal_hash_count_degenerate(self):
+        assert optimal_hash_count(0, 10) == 1
+        assert optimal_hash_count(100, 0) == 1
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        filt = BloomFilter.from_fpr(500, 0.01)
+        items = _ids(500)
+        filt.update(items)
+        assert all(item in filt for item in items)
+
+    def test_fpr_close_to_target(self):
+        target = 0.02
+        filt = BloomFilter.from_fpr(1000, target)
+        filt.update(_ids(1000))
+        probes = _ids(20_000, tag=b"other")
+        observed = sum(1 for p in probes if p in filt) / len(probes)
+        assert observed == pytest.approx(target, rel=0.5)
+
+    def test_empty_filter_matches_nothing(self):
+        filt = BloomFilter.from_fpr(100, 0.01)
+        assert sha256(b"probe") not in filt
+
+    def test_degenerate_filter_matches_everything(self):
+        filt = BloomFilter.from_fpr(100, 1.0)
+        assert filt.is_degenerate
+        assert sha256(b"anything") in filt
+        assert filt.serialized_size() == 9  # header only
+
+    def test_seed_changes_mistakes(self):
+        # Same items, different seeds: false positive sets should differ.
+        items = _ids(200)
+        probes = _ids(5000, tag=b"p")
+        fps = []
+        for seed in (1, 2):
+            filt = BloomFilter.from_fpr(200, 0.05, seed=seed)
+            filt.update(items)
+            fps.append({p for p in probes if p in filt})
+        assert fps[0] != fps[1]
+
+    def test_count_tracks_inserts(self):
+        filt = BloomFilter.from_fpr(10, 0.1)
+        filt.update(_ids(7))
+        assert len(filt) == 7
+
+
+class TestActualFpr:
+    def test_unloaded_is_zero(self):
+        assert BloomFilter.from_fpr(100, 0.01).actual_fpr() == 0.0
+
+    def test_at_capacity_near_target(self):
+        filt = BloomFilter.from_fpr(1000, 0.01)
+        filt.update(_ids(1000))
+        assert filt.actual_fpr() == pytest.approx(0.01, rel=0.5)
+
+    def test_overload_raises_fpr(self):
+        filt = BloomFilter.from_fpr(100, 0.01)
+        filt.update(_ids(500))
+        assert filt.actual_fpr() > 0.01
+
+
+class TestConstruction:
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(-1, 2)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(100, 0)
+
+    def test_from_fpr_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            BloomFilter.from_fpr(10, 0.0)
+
+    def test_target_fpr_recorded(self):
+        assert BloomFilter.from_fpr(10, 0.07).target_fpr == 0.07
+
+    def test_serialized_size_formula(self):
+        filt = BloomFilter.from_fpr(300, 0.01)
+        assert filt.serialized_size() == (filt.nbits + 7) // 8 + 9
+
+
+class TestPropertyBased:
+    @given(st.sets(st.binary(min_size=32, max_size=32), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_membership_superset_property(self, items):
+        filt = BloomFilter.from_fpr(max(1, len(items)), 0.01)
+        for item in items:
+            filt.insert(item)
+        assert all(item in filt for item in items)
+
+    @given(st.integers(1, 5000),
+           st.floats(min_value=1e-6, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_size_positive_and_monotone_cheap(self, n, f):
+        assert bloom_size_bytes(n, f) >= 1
+        assert bloom_size_bytes(n, min(0.999, f * 2)) <= bloom_size_bytes(n, f)

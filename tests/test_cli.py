@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRelay:
+    def test_default_relay_succeeds(self, capsys):
+        assert main(["relay", "--n", "200", "--extra", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "graphene" in out
+        assert "compact blocks" in out
+
+    def test_breakdown_flag(self, capsys):
+        main(["relay", "--n", "100", "--extra", "100", "--breakdown"])
+        out = capsys.readouterr().out
+        assert "bloom_s" in out
+
+    def test_protocol2_path(self, capsys):
+        assert main(["relay", "--n", "200", "--extra", "200",
+                     "--fraction", "0.9"]) == 0
+        assert "protocol 2" in capsys.readouterr().out
+
+
+class TestSync:
+    def test_sync_succeeds(self, capsys):
+        assert main(["sync", "--n", "300", "--common", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "synchronized=True" in out
+
+
+class TestIBLTParams:
+    def test_table_lookup(self, capsys):
+        assert main(["iblt-params", "--j", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "cells=" in out and "k=" in out
+
+    def test_other_denom(self, capsys):
+        assert main(["iblt-params", "--j", "50", "--denom", "24"]) == 0
+
+
+class TestExperiment:
+    def test_known_driver(self, capsys):
+        assert main(["experiment", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "cells=" in out
+
+    def test_json_output(self, capsys):
+        assert main(["experiment", "fig10", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+
+    def test_unknown_driver(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "choose from" in capsys.readouterr().err
+
+
+class TestAttack:
+    def test_attack_summary(self, capsys):
+        assert main(["attack", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "xthin" in out and "graphene" in out
+
+
+class TestNetsim:
+    def test_propagates(self, capsys):
+        assert main(["netsim", "--nodes", "6", "--degree", "2",
+                     "--block-size", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 nodes" in out
+
+    def test_full_block_protocol(self, capsys):
+        assert main(["netsim", "--nodes", "4", "--degree", "2",
+                     "--block-size", "40",
+                     "--protocol", "full_block"]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,132 @@
+"""Robustness of the wire codecs against hostile or corrupted input.
+
+A peer can send anything.  Decoders must either produce a well-formed
+object (whose content the Merkle check will judge) or raise
+:class:`~repro.errors.ParameterError` / :class:`ReproError` -- never
+IndexError, struct.error, MemoryError or an infinite loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.scenarios import make_block_scenario
+from repro.codec import (
+    decode_bloom,
+    decode_iblt,
+    decode_protocol1_payload,
+    decode_protocol2_request,
+    decode_protocol2_response,
+    decode_transaction,
+    decode_tx_list,
+    encode_bloom,
+    encode_iblt,
+    encode_protocol1_payload,
+)
+from repro.core.protocol1 import build_protocol1
+from repro.errors import ReproError
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+
+DECODERS = (decode_bloom, decode_iblt, decode_transaction, decode_tx_list,
+            decode_protocol1_payload, decode_protocol2_request,
+            decode_protocol2_response)
+
+
+def _expect_clean(decoder, blob):
+    """Decoding must yield a value or a ReproError/ValueError, only."""
+    try:
+        decoder(blob)
+    except (ReproError, ValueError):
+        pass
+
+
+class TestRandomBytes:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_decoders_never_crash_on_noise(self, blob):
+        for decoder in DECODERS:
+            _expect_clean(decoder, blob)
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_huge_length_claims_rejected(self, suffix):
+        # A CompactSize claiming 2^32 transactions must not allocate.
+        blob = b"\xfe\xff\xff\xff\xff" + suffix
+        _expect_clean(decode_tx_list, blob)
+
+
+class TestTruncation:
+    def test_bloom_truncation_sweep(self):
+        bloom = BloomFilter.from_fpr(100, 0.01)
+        blob = encode_bloom(bloom)
+        for cut in range(len(blob)):
+            _expect_clean(decode_bloom, blob[:cut])
+
+    def test_iblt_truncation_sweep(self):
+        iblt = IBLT(24, k=4)
+        iblt.update(range(10))
+        blob = encode_iblt(iblt)
+        for cut in range(0, len(blob), 7):
+            _expect_clean(decode_iblt, blob[:cut])
+
+    def test_payload_truncation_sweep(self):
+        sc = make_block_scenario(n=40, extra=40, fraction=1.0, seed=4)
+        payload = build_protocol1(sc.block.txs, sc.m)
+        blob = encode_protocol1_payload(payload)
+        for cut in range(0, len(blob), 11):
+            _expect_clean(decode_protocol1_payload, blob[:cut])
+
+
+class TestBitflips:
+    def test_flipped_payload_never_crashes(self):
+        # Bit flips may corrupt content (Merkle validation's job) but
+        # must not break the decoder.
+        sc = make_block_scenario(n=30, extra=30, fraction=1.0, seed=5)
+        payload = build_protocol1(sc.block.txs, sc.m)
+        blob = bytearray(encode_protocol1_payload(payload))
+        rng = random.Random(6)
+        for _ in range(200):
+            pos = rng.randrange(len(blob))
+            bit = 1 << rng.randrange(8)
+            blob[pos] ^= bit
+            _expect_clean(decode_protocol1_payload, bytes(blob))
+            blob[pos] ^= bit  # restore
+
+    def test_flipped_iblt_decode_is_safe(self):
+        # Even when the IBLT parses, peeling a corrupted table must end
+        # (partial result or MalformedIBLTError), never loop.
+        iblt = IBLT(48, k=4)
+        iblt.update(range(20))
+        blob = bytearray(encode_iblt(iblt))
+        rng = random.Random(7)
+        for _ in range(60):
+            pos = rng.randrange(12, len(blob))  # corrupt cells, not shape
+            blob[pos] ^= 1 << rng.randrange(8)
+            try:
+                parsed, _ = decode_iblt(bytes(blob))
+                parsed.decode()
+            except (ReproError, ValueError):
+                pass
+
+
+class TestAdversarialShapes:
+    def test_bloom_with_absurd_k(self):
+        # k = 255 over 8 bits: decoder accepts, membership still works.
+        blob = (255).to_bytes(4, "little") + bytes([255]) + bytes(4) \
+            + bytes(32)
+        _expect_clean(decode_bloom, blob)
+
+    def test_iblt_zero_cells_rejected(self):
+        blob = (0).to_bytes(4, "little") + bytes([4]) + bytes(4) \
+            + bytes([12]) + bytes(2)
+        _expect_clean(decode_iblt, blob)
+
+    def test_iblt_k_larger_than_cells(self):
+        blob = (4).to_bytes(4, "little") + bytes([200]) + bytes(4) \
+            + bytes([12]) + bytes(2) + bytes(4 * 12)
+        _expect_clean(decode_iblt, blob)

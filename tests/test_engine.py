@@ -1,0 +1,150 @@
+"""Tests for the message-driven Graphene engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.scenarios import make_block_scenario
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+    ReceiverPhase,
+)
+from repro.errors import ParameterError, ProtocolFailure
+
+
+def _run_exchange(scenario, config=None):
+    """Drive the two engines to completion; return (action, receiver)."""
+    sender = GrapheneSenderEngine(scenario.block)
+    receiver = GrapheneReceiverEngine(scenario.receiver_mempool)
+    action = receiver.start()
+    assert action.command == "getdata"
+    reply = sender.on_getdata(action.message)
+    action = receiver.on_p1_payload(reply)
+    if action.kind is ActionKind.SEND:
+        assert action.command == "graphene_p2_request"
+        reply = sender.on_p2_request(action.message)
+        action = receiver.on_p2_response(reply)
+    if action.kind is ActionKind.SEND:
+        assert action.command == "getdata_shortids"
+        reply = sender.on_shortid_request(action.message)
+        action = receiver.on_tx_list(reply)
+    return action, receiver
+
+
+class TestHappyPath:
+    def test_protocol1_only(self):
+        sc = make_block_scenario(n=150, extra=150, fraction=1.0, seed=81)
+        action, receiver = _run_exchange(sc)
+        assert action.kind is ActionKind.DONE
+        assert receiver.phase is ReceiverPhase.DONE
+        assert [t.txid for t in action.txs] == sc.block.txids
+
+    def test_protocol2_fallback(self):
+        sc = make_block_scenario(n=150, extra=150, fraction=0.9, seed=82)
+        action, receiver = _run_exchange(sc)
+        assert action.kind is ActionKind.DONE
+        assert [t.txid for t in action.txs] == sc.block.txids
+
+    def test_special_case_m_equals_n(self):
+        sc = make_block_scenario(n=120, extra=0, fraction=0.6, seed=83)
+        action, _ = _run_exchange(sc)
+        assert action.kind is ActionKind.DONE
+        assert [t.txid for t in action.txs] == sc.block.txids
+
+    def test_many_scenarios_end_to_end(self):
+        done = 0
+        for t in range(20):
+            sc = make_block_scenario(n=100, extra=100,
+                                     fraction=0.85 + 0.01 * (t % 10),
+                                     seed=8400 + t)
+            action, _ = _run_exchange(sc)
+            if action.kind is ActionKind.DONE:
+                done += 1
+                assert [x.txid for x in action.txs] == sc.block.txids
+        assert done >= 19  # failures essentially absent
+
+    def test_byte_counters_track_traffic(self):
+        sc = make_block_scenario(n=150, extra=150, fraction=0.9, seed=85)
+        _, receiver = _run_exchange(sc)
+        assert receiver.bytes_sent > 0
+        assert receiver.bytes_received > 0
+
+
+class TestSenderEngine:
+    def test_serves_multiple_receivers(self):
+        sc1 = make_block_scenario(n=100, extra=100, fraction=1.0, seed=86)
+        sender = GrapheneSenderEngine(sc1.block)
+        for extra_seed in (1, 2, 3):
+            sc = make_block_scenario(n=100, extra=100, fraction=1.0,
+                                     seed=86)  # same block content
+            receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+            action = receiver.start()
+            reply = sender.on_getdata(action.message)
+            action = receiver.on_p1_payload(reply)
+            assert action.kind is ActionKind.DONE
+
+    def test_rejects_short_getdata(self):
+        sc = make_block_scenario(n=10, extra=10, fraction=1.0, seed=87)
+        with pytest.raises(ParameterError):
+            GrapheneSenderEngine(sc.block).on_getdata(b"\x01")
+
+    def test_shortid_request_roundtrip(self):
+        sc = make_block_scenario(n=20, extra=0, fraction=1.0, seed=88)
+        sender = GrapheneSenderEngine(sc.block)
+        tx = sc.block.txs[3]
+        message = tx.short_id().to_bytes(8, "little")
+        from repro.net.wire import decode_tx_list
+        txs, _ = decode_tx_list(sender.on_shortid_request(message))
+        assert len(txs) == 1 and txs[0].txid == tx.txid
+
+
+class TestPhaseDiscipline:
+    def test_cannot_start_twice(self):
+        sc = make_block_scenario(n=10, extra=10, fraction=1.0, seed=89)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        receiver.start()
+        with pytest.raises(ProtocolFailure):
+            receiver.start()
+
+    def test_out_of_order_messages_rejected(self):
+        sc = make_block_scenario(n=10, extra=10, fraction=1.0, seed=90)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        with pytest.raises(ProtocolFailure):
+            receiver.on_p2_response(b"\x00" * 40)
+        with pytest.raises(ProtocolFailure):
+            receiver.on_tx_list(b"\x00")
+
+    def test_handle_dispatch(self):
+        sc = make_block_scenario(n=50, extra=50, fraction=1.0, seed=91)
+        sender = GrapheneSenderEngine(sc.block)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        action = receiver.start()
+        reply = sender.on_getdata(action.message)
+        action = receiver.handle("graphene_block", reply)
+        assert action.kind is ActionKind.DONE
+
+    def test_handle_unknown_command(self):
+        sc = make_block_scenario(n=10, extra=10, fraction=1.0, seed=92)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        with pytest.raises(ParameterError):
+            receiver.handle("nonsense", b"")
+
+
+class TestHeaderParsing:
+    def test_header_roundtrip(self):
+        from repro.chain.block import BlockHeader
+        from repro.core.engine import _parse_header
+        header = BlockHeader(version=3, prev_hash=bytes(range(32)),
+                             merkle_root=bytes(reversed(range(32))),
+                             timestamp=12345, bits=0x1D00FFFF, nonce=777)
+        parsed = _parse_header(header.serialize())
+        assert parsed == header
+
+    def test_wrong_length_rejected(self):
+        import pytest as _pytest
+        from repro.core.engine import _parse_header
+        from repro.errors import ParameterError
+        with _pytest.raises(ParameterError):
+            _parse_header(b"\x00" * 79)

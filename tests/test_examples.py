@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable without side effects (work happens under
+``if __name__ == "__main__"``), and the cheapest two run end-to-end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {"quickstart", "mempool_sync_demo", "iblt_tuning",
+                "attack_resilience", "block_propagation_network",
+                "fork_rate_analysis", "mining_forks",
+                "alternative_structures"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_cleanly(self, path):
+        module = _load(path)
+        assert callable(module.main)
+
+    def test_quickstart_runs(self, capsys):
+        _load(EXAMPLES_DIR / "quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "Graphene" in out and "Compact Blocks" in out
+
+    def test_attack_resilience_runs(self, capsys):
+        _load(EXAMPLES_DIR / "attack_resilience.py").main()
+        out = capsys.readouterr().out
+        assert "decoder halted safely" in out

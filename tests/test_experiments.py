@@ -1,0 +1,146 @@
+"""Smoke tests for the figure-reproduction experiment drivers.
+
+Each driver is run at a tiny scale; the assertions check the *shape*
+properties the paper's figures exhibit (who wins, monotonicity), not
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments as exp
+
+
+class TestFig07And10:
+    def test_optimal_meets_targets(self):
+        rows = exp.fig07_rows(j_values=(20, 50), denoms=(24,), trials=300)
+        for row in rows:
+            if row["scheme"] == "optimal":
+                # Target 1/24; allow Monte-Carlo slack.
+                assert row["failure_rate"] <= 3 / 24
+
+    def test_static_rows_present(self):
+        rows = exp.fig07_rows(j_values=(20,), denoms=(24,), trials=100)
+        schemes = {row["scheme"] for row in rows}
+        assert schemes == {"static", "optimal"}
+
+    def test_fig10_stricter_rate_more_cells(self):
+        rows = exp.fig10_rows(j_values=(100,), denoms=(24, 2400))
+        cells = {row["target_failure"]: row["cells"]
+                 for row in rows if row["scheme"] == "optimal"}
+        assert cells[1 / 2400] >= cells[1 / 24]
+
+
+class TestFig11:
+    def test_pingpong_never_worse(self):
+        rows = exp.fig11_rows(j_values=(20,), sibling_fractions=(1.0,),
+                              trials=50)
+        single = next(r for r in rows if r["scheme"] == "single")
+        paired = next(r for r in rows if r["scheme"] == "pingpong")
+        assert paired["failure_rate"] <= single["failure_rate"] + 0.02
+
+
+class TestDeploymentFigures:
+    def test_fig12_graphene_beats_xthin_star(self):
+        rows = exp.fig12_rows(block_sizes=(500, 2000), trials=2)
+        for row in rows:
+            assert row["graphene_bytes"] < row["xthin_star_bytes"]
+            assert row["failures"] == 0
+
+    def test_fig12_xthin_grows_faster(self):
+        rows = exp.fig12_rows(block_sizes=(500, 2000), trials=2)
+        graphene_growth = rows[1]["graphene_bytes"] / rows[0]["graphene_bytes"]
+        xthin_growth = rows[1]["xthin_star_bytes"] / rows[0]["xthin_star_bytes"]
+        assert graphene_growth < xthin_growth
+
+    def test_fig13_graphene_beats_full_blocks(self):
+        rows = exp.fig13_rows(block_sizes=(100, 400), trials=1)
+        for row in rows:
+            assert row["graphene_bytes"] < row["full_block_bytes"]
+
+
+class TestSimulationFigures:
+    def test_fig14_graphene_beats_compact_blocks(self):
+        rows = exp.fig14_rows(block_sizes=(2000,), multiples=(0.5, 2.0),
+                              trials=2)
+        for row in rows:
+            assert row["graphene_bytes"] < row["compact_blocks_bytes"]
+
+    def test_fig14_cost_grows_with_mempool(self):
+        rows = exp.fig14_rows(block_sizes=(2000,), multiples=(0.5, 4.0),
+                              trials=2)
+        assert rows[1]["graphene_bytes"] > rows[0]["graphene_bytes"]
+
+    def test_fig15_failure_rate_below_target(self):
+        rows = exp.fig15_rows(block_sizes=(200,), multiples=(1.0,),
+                              trials=60)
+        for row in rows:
+            assert row["failure_rate"] <= row["target"] * 5  # small-sample
+
+    def test_fig16_pingpong_helps(self):
+        rows = exp.fig16_rows(block_sizes=(200,), fractions=(0.9,),
+                              trials=30)
+        for row in rows:
+            assert (row["failure_with_pingpong"]
+                    <= row["failure_without_pingpong"] + 0.05)
+
+    def test_fig17_parts_sum_to_total(self):
+        rows = exp.fig17_rows(block_sizes=(200,), fractions=(0.8,), trials=2)
+        for row in rows:
+            parts = (row["inv"] + row["getdata"] + row["bloom_s"]
+                     + row["iblt_i"] + row["counts"] + row["bloom_r"]
+                     + row["iblt_j"] + row["bloom_f"] + row["extra_getdata"]
+                     + row["ordering"])
+            assert parts == pytest.approx(row["graphene_total"], rel=0.01)
+
+    def test_fig18_graphene_beats_compact_blocks(self):
+        rows = exp.fig18_rows(block_sizes=(2000,), fractions=(0.4, 0.8),
+                              trials=2)
+        for row in rows:
+            assert row["graphene_bytes"] < row["compact_blocks_bytes"]
+            assert row["success_rate"] == 1.0
+
+
+class TestBoundValidation:
+    def test_fig19_theorem2_holds(self):
+        rows = exp.fig19_rows(block_sizes=(200,), fractions=(0.3, 0.9),
+                              trials=300)
+        for row in rows:
+            assert row["bound_holds_rate"] >= row["target"] - 0.02
+
+    def test_fig20_theorem3_holds(self):
+        rows = exp.fig20_rows(block_sizes=(200,), fractions=(0.3, 0.9),
+                              trials=300)
+        for row in rows:
+            assert row["bound_holds_rate"] >= row["target"] - 0.02
+
+
+class TestSectionComparisons:
+    def test_sec51_ordering_of_protocols(self):
+        rows = exp.sec51_rows(block_sizes=(2000,))
+        row = rows[0]
+        assert row["info_bound_bytes"] < row["graphene_bytes"]
+        assert row["graphene_bytes"] < row["compact_blocks_bytes"]
+
+    def test_sec532_digest_more_expensive(self):
+        rows = exp.sec532_rows(block_sizes=(2000,), fractions=(0.95,),
+                               trials=2)
+        for row in rows:
+            assert row["difference_digest_bytes"] > row["graphene_bytes"]
+
+
+class TestExtensionDrivers:
+    def test_forkrate_rows_shape(self):
+        from repro.analysis.experiments import forkrate_rows
+        rows = forkrate_rows(block_sizes=(200,))
+        protocols = {row["protocol"] for row in rows}
+        assert {"graphene", "compact_blocks", "full_block"} <= protocols
+        by_proto = {row["protocol"]: row["fork_probability"] for row in rows}
+        assert by_proto["graphene"] <= by_proto["full_block"]
+
+    def test_throughput_rows_shape(self):
+        from repro.analysis.experiments import throughput_rows
+        rows = throughput_rows()
+        by_proto = {row["protocol"]: row["max_tps"] for row in rows}
+        assert by_proto["graphene"] > by_proto["full_block"]

@@ -1,0 +1,134 @@
+"""Tests for repro.utils.hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.hashing import DerivedHasher, sha256, short_id, split_digest
+
+
+class TestSha256:
+    def test_known_digest(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad")
+
+    def test_empty_input(self):
+        assert sha256(b"").hex().startswith("e3b0c44298fc1c14")
+
+    def test_length(self):
+        assert len(sha256(b"anything")) == 32
+
+
+class TestShortId:
+    def test_truncates_to_8_bytes(self):
+        txid = bytes(range(32))
+        sid = short_id(txid, 8)
+        assert sid == int.from_bytes(bytes(range(8)), "little")
+
+    def test_width_changes_value_range(self):
+        txid = sha256(b"x")
+        assert short_id(txid, 1) < 256
+        assert short_id(txid, 2) < 65536
+
+    def test_shared_prefix_collides(self):
+        a = bytes(8) + sha256(b"a")[:24]
+        b = bytes(8) + sha256(b"b")[:24]
+        assert a != b
+        assert short_id(a) == short_id(b)
+
+    @pytest.mark.parametrize("bad", [0, -1, 33])
+    def test_rejects_bad_width(self, bad):
+        with pytest.raises(ValueError):
+            short_id(bytes(32), bad)
+
+
+class TestSplitDigest:
+    def test_yields_k_values(self):
+        digest = sha256(b"tx")
+        assert len(list(split_digest(digest, 5, 1000))) == 5
+
+    def test_values_within_modulus(self):
+        digest = sha256(b"tx")
+        assert all(0 <= v < 97 for v in split_digest(digest, 8, 97))
+
+    def test_deterministic(self):
+        digest = sha256(b"tx")
+        assert (list(split_digest(digest, 6, 500))
+                == list(split_digest(digest, 6, 500)))
+
+    def test_extends_beyond_digest_words(self):
+        digest = sha256(b"tx")
+        values = list(split_digest(digest, 12, 10_000))
+        assert len(values) == 12
+        assert all(0 <= v < 10_000 for v in values)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            list(split_digest(sha256(b"t"), 0, 10))
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            list(split_digest(sha256(b"t"), 3, 0))
+
+    def test_spread_over_modulus(self):
+        # With many digests, every cell of a small modulus gets hit.
+        seen = set()
+        for i in range(200):
+            seen.update(split_digest(sha256(bytes([i])), 4, 16))
+        assert seen == set(range(16))
+
+
+class TestDerivedHasher:
+    def test_partitioned_indices_stay_in_partition(self):
+        hasher = DerivedHasher(4, seed=1)
+        cells = 40
+        for key in range(100):
+            idx = hasher.partitioned_indices(key, cells)
+            for partition, value in enumerate(idx):
+                assert partition * 10 <= value < (partition + 1) * 10
+
+    def test_partitioned_requires_divisibility(self):
+        hasher = DerivedHasher(4, seed=1)
+        with pytest.raises(ValueError):
+            hasher.partitioned_indices(1, 42)
+
+    def test_different_seeds_differ(self):
+        a = DerivedHasher(4, seed=1).partitioned_indices(42, 40)
+        b = DerivedHasher(4, seed=2).partitioned_indices(42, 40)
+        assert a != b
+
+    def test_deterministic(self):
+        h = DerivedHasher(6, seed=7)
+        assert h.indices(99, 1000) == h.indices(99, 1000)
+
+    def test_checksum_bits(self):
+        h = DerivedHasher(3, seed=0)
+        assert 0 <= h.checksum(12345, bits=16) < (1 << 16)
+
+    def test_checksum_distinguishes_keys(self):
+        h = DerivedHasher(3, seed=0)
+        sums = {h.checksum(k) for k in range(1000)}
+        # 16-bit checksums over 1000 keys: expect very few collisions.
+        assert len(sums) > 980
+
+    def test_indices_not_arithmetic_progression(self):
+        # Regression: h1 + i*h2 index derivation collapses the IBLT edge
+        # space and creates spurious 2-cores (birthday collisions).
+        h = DerivedHasher(4, seed=3)
+        progressions = 0
+        for key in range(500):
+            a, b, c, d = h.indices(key, 10_000)
+            if b - a == c - b == d - c:
+                progressions += 1
+        assert progressions <= 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            DerivedHasher(0)
+
+    def test_large_k_supported(self):
+        h = DerivedHasher(12, seed=5)
+        idx = h.partitioned_indices(7, 120)
+        assert len(idx) == 12
+        assert len(set(idx)) == 12  # one per partition, all distinct

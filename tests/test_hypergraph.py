@@ -1,0 +1,78 @@
+"""Tests for the hypergraph model of IBLT decoding."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.pds.hypergraph import decode_many, decode_once
+
+
+class TestDecodeOnce:
+    def test_zero_edges_decodes(self, rng):
+        assert decode_once(0, 4, 8, rng)
+
+    def test_single_edge_always_decodes(self, rng):
+        assert all(decode_once(1, 4, 8, rng) for _ in range(50))
+
+    def test_overloaded_fails(self, rng):
+        # 200 edges on 12 vertices: a 2-core is certain.
+        assert not any(decode_once(200, 4, 12, rng) for _ in range(10))
+
+    def test_ample_cells_succeed(self, rng):
+        assert all(decode_once(10, 4, 200, rng) for _ in range(20))
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ParameterError):
+            decode_once(5, 1, 8, rng)
+        with pytest.raises(ParameterError):
+            decode_once(5, 4, 10, rng)  # not a multiple of k
+        with pytest.raises(ParameterError):
+            decode_once(-1, 4, 8, rng)
+
+
+class TestDecodeMany:
+    def test_counts_bounded_by_trials(self):
+        gen = np.random.default_rng(0)
+        assert 0 <= decode_many(20, 4, 40, 50, gen) <= 50
+
+    def test_zero_trials(self):
+        gen = np.random.default_rng(0)
+        assert decode_many(20, 4, 40, 0, gen) == 0
+
+    def test_zero_edges_all_succeed(self):
+        gen = np.random.default_rng(0)
+        assert decode_many(0, 4, 8, 25, gen) == 25
+
+    def test_agrees_with_scalar_implementation(self):
+        # Same distribution: the batch and scalar success rates must agree.
+        j, k, c, trials = 60, 4, 96, 1500
+        gen = np.random.default_rng(1)
+        batch_rate = decode_many(j, k, c, trials, gen) / trials
+        scalar_rng = random.Random(2)
+        scalar_rate = sum(
+            decode_once(j, k, c, scalar_rng) for _ in range(600)) / 600
+        assert batch_rate == pytest.approx(scalar_rate, abs=0.08)
+
+    def test_monotone_in_cells(self):
+        # More cells can only help; sampled rates should be ordered
+        # (within Monte-Carlo noise) across a wide gap.
+        gen = np.random.default_rng(3)
+        low = decode_many(100, 4, 120, 400, gen) / 400
+        high = decode_many(100, 4, 220, 400, gen) / 400
+        assert high >= low
+
+    def test_sharp_threshold_large_j(self):
+        # k=4 peeling threshold is c/j ~ 1.295: below fails, above succeeds.
+        gen = np.random.default_rng(4)
+        below = decode_many(2000, 4, 2480, 50, gen)  # tau = 1.24
+        above = decode_many(2000, 4, 2800, 50, gen)  # tau = 1.40
+        assert below == 0
+        assert above == 50
+
+    def test_rejects_negative_trials(self):
+        with pytest.raises(ParameterError):
+            decode_many(5, 4, 8, -1, np.random.default_rng(0))

@@ -1,0 +1,210 @@
+"""Tests for the from-scratch IBLT."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MalformedIBLTError, ParameterError
+from repro.pds.iblt import DEFAULT_CELL_BYTES, IBLT, IBLT_HEADER_BYTES
+
+KEYS = st.sets(st.integers(min_value=0, max_value=2**64 - 1), max_size=40)
+
+
+def _keys(count, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(64) for _ in range(count)]
+
+
+class TestConstruction:
+    def test_cells_rounded_to_multiple_of_k(self):
+        assert IBLT(10, k=4).cells == 12
+
+    def test_rejects_bad_cells(self):
+        with pytest.raises(ParameterError):
+            IBLT(0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            IBLT(12, k=1)
+
+    def test_rejects_bad_cell_bytes(self):
+        with pytest.raises(ParameterError):
+            IBLT(12, cell_bytes=0)
+
+    def test_serialized_size(self):
+        iblt = IBLT(24, k=4)
+        assert iblt.serialized_size() == IBLT_HEADER_BYTES + 24 * DEFAULT_CELL_BYTES
+
+    def test_from_keys(self):
+        keys = _keys(10)
+        iblt = IBLT.from_keys(keys, 60)
+        assert len(iblt) == 10
+
+
+class TestInsertEraseDecode:
+    def test_decode_empty(self):
+        result = IBLT(12).decode()
+        assert result.complete
+        assert not result.local and not result.remote
+
+    def test_single_item_roundtrip(self):
+        iblt = IBLT(12)
+        iblt.insert(0xABCD)
+        result = iblt.decode()
+        assert result.complete
+        assert result.local == {0xABCD}
+
+    def test_many_items_roundtrip(self):
+        keys = set(_keys(50, seed=1))
+        iblt = IBLT.from_keys(keys, 120)
+        result = iblt.decode()
+        assert result.complete
+        assert result.local == keys
+
+    def test_erase_cancels_insert(self):
+        iblt = IBLT(12)
+        iblt.insert(7)
+        iblt.erase(7)
+        result = iblt.decode()
+        assert result.complete
+        assert not result.local
+
+    def test_erase_without_insert_decodes_negative(self):
+        iblt = IBLT(12)
+        iblt.erase(7)
+        result = iblt.decode()
+        assert result.complete
+        assert result.remote == {7}
+
+    def test_decode_is_nondestructive(self):
+        iblt = IBLT.from_keys(_keys(5), 24)
+        first = iblt.decode()
+        second = iblt.decode()
+        assert first.local == second.local
+
+    def test_overfull_decode_fails(self):
+        # 12 cells cannot decode 100 items.
+        iblt = IBLT.from_keys(_keys(100, seed=3), 12)
+        assert not iblt.decode().complete
+
+    def test_decode_result_unpacks(self):
+        complete, local, remote = IBLT.from_keys([5], 12).decode()
+        assert complete and local == {5} and remote == frozenset()
+
+
+class TestSubtract:
+    def test_symmetric_difference(self):
+        shared = _keys(30, seed=4)
+        only_a = _keys(10, seed=5)
+        only_b = _keys(12, seed=6)
+        a = IBLT.from_keys(shared + only_a, 120, seed=9)
+        b = IBLT.from_keys(shared + only_b, 120, seed=9)
+        result = a.subtract(b).decode()
+        assert result.complete
+        assert result.local == set(only_a)
+        assert result.remote == set(only_b)
+
+    def test_sub_operator(self):
+        a = IBLT.from_keys([1, 2], 24, seed=1)
+        b = IBLT.from_keys([2, 3], 24, seed=1)
+        result = (a - b).decode()
+        assert result.local == {1} and result.remote == {3}
+
+    def test_identical_sets_cancel(self):
+        keys = _keys(20, seed=7)
+        a = IBLT.from_keys(keys, 60, seed=2)
+        b = IBLT.from_keys(keys, 60, seed=2)
+        diff = a.subtract(b)
+        result = diff.decode()
+        assert result.complete
+        assert not result.local and not result.remote
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ParameterError):
+            IBLT(24, k=4).subtract(IBLT(24, k=3, seed=0))
+
+    def test_incompatible_seeds_rejected(self):
+        with pytest.raises(ParameterError):
+            IBLT(24, seed=1).subtract(IBLT(24, seed=2))
+
+    def test_count_tracks_difference(self):
+        a = IBLT.from_keys(_keys(5), 24)
+        b = IBLT.from_keys(_keys(3, seed=9), 24)
+        assert a.subtract(b).count == 2
+
+
+class TestPeel:
+    def test_peel_reduces_difference(self):
+        only_a = _keys(3, seed=10)
+        a = IBLT.from_keys(only_a, 24, seed=3)
+        b = IBLT(24, seed=3)
+        diff = a.subtract(b)
+        diff.peel(only_a[0], +1)
+        result = diff.decode()
+        assert result.complete
+        assert result.local == set(only_a[1:])
+
+    def test_peel_remote_side(self):
+        b_key = 12345
+        a = IBLT(24, seed=3)
+        b = IBLT.from_keys([b_key], 24, seed=3)
+        diff = a.subtract(b)
+        diff.peel(b_key, -1)
+        result = diff.decode()
+        assert result.complete and not result.remote
+
+    def test_peel_rejects_bad_sign(self):
+        with pytest.raises(ParameterError):
+            IBLT(24).peel(1, 0)
+
+
+class TestMalformedGuard:
+    def test_decode_twice_raises(self):
+        # Insert a key into only k-1 cells: peeling oscillates forever
+        # without the paper's 6.1 guard.
+        iblt = IBLT(24, k=4, seed=0)
+        key = 0xFEED
+        csum = iblt.hasher.checksum(key)
+        for idx in iblt.hasher.partitioned_indices(key, iblt.cells)[:-1]:
+            cell = iblt._table[idx]
+            cell.count += 1
+            cell.key_sum ^= key
+            cell.check_sum ^= csum
+        with pytest.raises(MalformedIBLTError):
+            iblt.decode()
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        a = IBLT.from_keys([1, 2, 3], 24)
+        b = a.copy()
+        b.insert(4)
+        assert len(a) == 3 and len(b) == 4
+        assert a.decode().local == {1, 2, 3}
+
+
+class TestPropertyBased:
+    @given(KEYS, KEYS)
+    @settings(max_examples=40, deadline=None)
+    def test_subtract_recovers_difference_when_capacity_allows(self, xs, ys):
+        a = IBLT.from_keys(xs, 400, seed=11)
+        b = IBLT.from_keys(ys, 400, seed=11)
+        result = a.subtract(b).decode()
+        # 400 cells vastly exceed any 80-item difference: must decode.
+        assert result.complete
+        assert result.local == xs - ys
+        assert result.remote == ys - xs
+
+    @given(KEYS)
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_erase_all_is_empty(self, keys):
+        iblt = IBLT(48, k=4)
+        for key in keys:
+            iblt.insert(key)
+        for key in keys:
+            iblt.erase(key)
+        assert all(cell.is_empty() for cell in iblt._table)

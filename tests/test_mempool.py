@@ -1,0 +1,84 @@
+"""Tests for the mempool and its per-peer inventory log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.mempool import Mempool
+from repro.errors import ParameterError
+
+
+class TestSetOperations:
+    def test_add_and_contains(self, txgen):
+        pool = Mempool()
+        tx = txgen.make()
+        assert pool.add(tx)
+        assert tx.txid in pool
+        assert pool.get(tx.txid) is tx
+
+    def test_double_add_returns_false(self, txgen):
+        pool = Mempool()
+        tx = txgen.make()
+        pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+
+    def test_constructor_seeds_content(self, txgen):
+        txs = txgen.make_batch(5)
+        pool = Mempool(txs)
+        assert len(pool) == 5
+
+    def test_add_many_counts_new(self, txgen):
+        txs = txgen.make_batch(5)
+        pool = Mempool(txs[:2])
+        assert pool.add_many(txs) == 3
+
+    def test_remove(self, txgen):
+        tx = txgen.make()
+        pool = Mempool([tx])
+        assert pool.remove(tx.txid) is tx
+        assert pool.remove(tx.txid) is None
+        assert len(pool) == 0
+
+    def test_remove_block_evicts_confirmed(self, txgen):
+        txs = txgen.make_batch(10)
+        pool = Mempool(txs)
+        evicted = pool.remove_block([tx.txid for tx in txs[:4]])
+        assert evicted == 4
+        assert len(pool) == 6
+
+    def test_iteration_yields_transactions(self, txgen):
+        txs = txgen.make_batch(3)
+        pool = Mempool(txs)
+        assert {tx.txid for tx in pool} == {tx.txid for tx in txs}
+
+    def test_txids_property(self, txgen):
+        txs = txgen.make_batch(3)
+        pool = Mempool(txs)
+        assert set(pool.txids) == {tx.txid for tx in txs}
+
+
+class TestInvLog:
+    def test_note_and_query(self, txgen):
+        pool = Mempool()
+        tx = txgen.make()
+        pool.note_inv("peer-1", tx.txid)
+        assert pool.inv_exchanged("peer-1", tx.txid)
+        assert not pool.inv_exchanged("peer-2", tx.txid)
+
+    def test_unannounced_to(self, txgen):
+        pool = Mempool()
+        txs = txgen.make_batch(4)
+        pool.note_inv("peer", txs[0].txid)
+        pool.note_inv("peer", txs[2].txid)
+        unannounced = pool.unannounced_to("peer", [tx.txid for tx in txs])
+        assert unannounced == [txs[1].txid, txs[3].txid]
+
+    def test_unknown_peer_all_unannounced(self, txgen):
+        pool = Mempool()
+        txs = txgen.make_batch(2)
+        assert len(pool.unannounced_to("ghost", [t.txid for t in txs])) == 2
+
+    def test_empty_peer_id_rejected(self, txgen):
+        with pytest.raises(ParameterError):
+            Mempool().note_inv("", txgen.make().txid)

@@ -1,0 +1,74 @@
+"""Tests for Graphene mempool synchronization (paper 3.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.scenarios import make_sync_scenario
+from repro.core.mempool_sync import synchronize_mempools
+
+
+class TestSynchronization:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_both_sides_reach_union(self, fraction):
+        sc = make_sync_scenario(n=300, fraction_common=fraction, seed=21)
+        expected_union = {tx.txid for tx in sc.sender_mempool} | {
+            tx.txid for tx in sc.receiver_mempool}
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool)
+        assert result.success
+        assert result.synchronized
+        assert {tx.txid for tx in sc.sender_mempool} == expected_union
+        assert {tx.txid for tx in sc.receiver_mempool} == expected_union
+
+    def test_identical_mempools_use_protocol1(self):
+        sc = make_sync_scenario(n=200, fraction_common=1.0, seed=22)
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool)
+        assert result.protocol_used == 1
+        assert result.receiver_gained == 0
+        assert result.sender_gained == 0
+
+    def test_disjoint_mempools_escalate(self):
+        sc = make_sync_scenario(n=200, fraction_common=0.0, seed=23)
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool)
+        assert result.protocol_used == 2
+        assert result.synchronized
+        assert result.receiver_gained == 200
+        assert result.sender_gained == 200
+
+    def test_gain_counts_match_scenario(self):
+        sc = make_sync_scenario(n=400, fraction_common=0.7, seed=24)
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool)
+        assert result.receiver_gained == len(sc.sender_only)
+        assert result.sender_gained == len(sc.receiver_only)
+
+
+class TestAccountingMode:
+    def test_transfer_disabled_moves_nothing(self):
+        sc = make_sync_scenario(n=200, fraction_common=0.5, seed=25)
+        before_sender = {tx.txid for tx in sc.sender_mempool}
+        before_receiver = {tx.txid for tx in sc.receiver_mempool}
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool,
+                                      transfer_missing=False)
+        assert result.success
+        assert {tx.txid for tx in sc.sender_mempool} == before_sender
+        assert {tx.txid for tx in sc.receiver_mempool} == before_receiver
+        assert result.cost.pushed_tx_bytes == 0
+        assert result.cost.fetched_tx_bytes == 0
+
+    def test_encoding_cost_beats_compact_blocks_for_large_pools(self):
+        from repro.baselines.compact_blocks import compact_blocks_bytes
+        sc = make_sync_scenario(n=2000, fraction_common=0.8, seed=26)
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool,
+                                      transfer_missing=False)
+        assert result.success
+        missing = len(sc.sender_only)
+        assert result.cost.total() < compact_blocks_bytes(2000,
+                                                          missing=missing)
+
+    def test_cost_breakdown_populated_for_protocol2(self):
+        sc = make_sync_scenario(n=300, fraction_common=0.3, seed=27)
+        result = synchronize_mempools(sc.sender_mempool, sc.receiver_mempool,
+                                      transfer_missing=False)
+        assert result.protocol_used == 2
+        assert result.cost.bloom_r > 0
+        assert result.cost.iblt_j > 0

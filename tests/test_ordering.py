@@ -1,0 +1,66 @@
+"""Tests for canonical transaction ordering and ordering-cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chain.ordering import (
+    canonical_order,
+    is_canonically_ordered,
+    ordering_info_bytes,
+)
+
+
+class TestCanonicalOrder:
+    def test_sorted_by_txid(self, txgen):
+        txs = txgen.make_batch(30)
+        ordered = canonical_order(txs)
+        assert [t.txid for t in ordered] == sorted(t.txid for t in txs)
+
+    def test_idempotent(self, txgen):
+        txs = canonical_order(txgen.make_batch(10))
+        assert canonical_order(txs) == txs
+
+    def test_is_canonically_ordered(self, txgen):
+        txs = canonical_order(txgen.make_batch(10))
+        assert is_canonically_ordered(txs)
+        assert not is_canonically_ordered(list(reversed(txs)))
+
+    def test_empty_and_single(self, txgen):
+        assert is_canonically_ordered([])
+        assert is_canonically_ordered([txgen.make()])
+
+    def test_does_not_mutate_input(self, txgen):
+        txs = txgen.make_batch(5)
+        snapshot = list(txs)
+        canonical_order(txs)
+        assert txs == snapshot
+
+
+class TestOrderingCost:
+    def test_zero_for_tiny(self):
+        assert ordering_info_bytes(0) == 0
+        assert ordering_info_bytes(1) == 0
+
+    def test_matches_log_factorial(self):
+        n = 1000
+        expected_bits = math.lgamma(n + 1) / math.log(2)
+        assert ordering_info_bytes(n) == math.ceil(expected_bits / 8)
+
+    def test_superlinear_growth(self):
+        # n log n growth: per-item cost increases with n.
+        per_item_small = ordering_info_bytes(100) / 100
+        per_item_large = ordering_info_bytes(10_000) / 10_000
+        assert per_item_large > per_item_small
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ordering_info_bytes(-1)
+
+    def test_dominates_graphene_for_large_n(self):
+        # Paper 6.2: ordering info exceeds Graphene itself as n grows.
+        from repro.analysis.theory import graphene_protocol1_bytes
+        n = 10_000
+        assert ordering_info_bytes(n) > graphene_protocol1_bytes(n, 2 * n)

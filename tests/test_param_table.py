@@ -1,0 +1,98 @@
+"""Tests for the IBLT parameter tables and their conservative lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pds.iblt import IBLT
+from repro.pds.param_table import (
+    DEFAULT_DENOM,
+    IBLTParamTable,
+    SUPPORTED_DENOMS,
+    default_param_table,
+)
+
+
+class TestLookup:
+    def test_exact_grid_hit(self):
+        table = IBLTParamTable([(10, 4, 40), (20, 4, 60)], 240)
+        assert table.params_for(10).cells == 40
+
+    def test_between_grid_points_rounds_up(self):
+        table = IBLTParamTable([(10, 4, 40), (20, 4, 60)], 240)
+        assert table.params_for(15).cells == 60
+
+    def test_beyond_table_extrapolates_conservatively(self):
+        table = IBLTParamTable([(100, 4, 140)], 240)
+        params = table.params_for(1000)
+        assert params.cells >= 1400  # tau 1.4 times safety margin
+        assert params.cells % params.k == 0
+
+    def test_j_zero_minimal(self):
+        table = IBLTParamTable([(10, 4, 40)], 240)
+        assert table.params_for(0).cells == 4
+
+    def test_rejects_negative(self):
+        table = IBLTParamTable([(10, 4, 40)], 240)
+        with pytest.raises(ParameterError):
+            table.params_for(-1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ParameterError):
+            IBLTParamTable([], 240)
+
+    def test_tau_for(self):
+        table = IBLTParamTable([(10, 4, 40)], 240)
+        assert table.tau_for(10) == pytest.approx(4.0)
+
+
+class TestShippedTables:
+    @pytest.mark.parametrize("denom", SUPPORTED_DENOMS)
+    def test_loads(self, denom):
+        table = default_param_table(denom)
+        assert len(table) > 0
+        assert table.denom == denom
+
+    def test_cached(self):
+        assert default_param_table(240) is default_param_table(240)
+
+    def test_rejects_bad_denom(self):
+        with pytest.raises(ParameterError):
+            default_param_table(1)
+
+    def test_cells_always_divisible_by_k(self):
+        table = default_param_table(DEFAULT_DENOM)
+        for j, k, cells in table.rows:
+            assert cells % k == 0, f"row j={j}"
+
+    def test_cells_monotone_in_j(self):
+        table = default_param_table(DEFAULT_DENOM)
+        cells = [row[2] for row in sorted(table.rows)]
+        assert all(b >= a for a, b in zip(cells, cells[1:]))
+
+    def test_stricter_rate_needs_more_cells(self):
+        loose = default_param_table(24)
+        strict = default_param_table(2400)
+        for j in (10, 50, 100):
+            assert strict.params_for(j).cells >= loose.params_for(j).cells
+
+    def test_tau_reasonable_for_large_j(self):
+        # Peeling thresholds put tau in [1.15, 1.6] for large j.
+        table = default_param_table(DEFAULT_DENOM)
+        assert 1.1 <= table.tau_for(1000) <= 1.8
+
+    def test_shipped_params_really_decode(self, rng):
+        # End-to-end: a real IBLT at the table's shape decodes j items.
+        table = default_param_table(DEFAULT_DENOM)
+        params = table.params_for(50)
+        failures = 0
+        for _ in range(60):
+            keys = [rng.getrandbits(64) for _ in range(50)]
+            iblt = IBLT(params.cells, k=params.k, seed=rng.getrandbits(30))
+            iblt.update(keys)
+            if not iblt.decode().complete:
+                failures += 1
+        # Target failure rate 1/240; 60 trials should essentially never
+        # see more than a couple of failures.
+        assert failures <= 2

@@ -1,0 +1,152 @@
+"""Tests for the Bloom/IBLT joint size optimization (Eqs. 2-5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    EXHAUSTIVE_LIMIT,
+    GrapheneConfig,
+    closed_form_a,
+    optimize_a,
+    optimize_b,
+)
+from repro.errors import ParameterError
+from repro.pds.bloom import bloom_size_bytes
+from repro.pds.param_table import default_param_table
+
+
+class TestClosedForm:
+    def test_eq3_value(self):
+        # a = n / (8 r tau ln^2 2).
+        n, r, tau = 2000, 12, 1.4
+        expected = n / (8 * r * tau * math.log(2) ** 2)
+        assert closed_form_a(n, tau, r) == round(expected)
+
+    def test_minimum_one(self):
+        assert closed_form_a(1, 1.5, 12) == 1
+
+    def test_rejects_bad(self):
+        with pytest.raises(ParameterError):
+            closed_form_a(10, 0, 12)
+
+
+class TestOptimizeA:
+    def test_plan_is_locally_optimal(self, config):
+        # No nearby integer a should produce a smaller total.
+        n, m = 2000, 4000
+        plan = optimize_a(n, m, config)
+        from repro.core.bounds import a_star
+        table = config.table()
+        for a in (plan.a - 1, plan.a + 1):
+            if not 1 <= a <= m - n:
+                continue
+            recover = math.ceil(a_star(a, config.beta))
+            params = table.params_for(recover)
+            total = (bloom_size_bytes(n, a / (m - n)) + 9
+                     + config.iblt_bytes(params))
+            assert plan.total_bytes <= total
+
+    def test_m_equals_n_degenerates(self, config):
+        plan = optimize_a(100, 100, config)
+        assert plan.fpr == 1.0
+        assert plan.bloom_bytes == 0
+        assert plan.iblt_bytes > 0
+
+    def test_n_zero(self, config):
+        plan = optimize_a(0, 50, config)
+        assert plan.fpr == 1.0
+
+    def test_fpr_consistent_with_a(self, config):
+        n, m = 500, 2000
+        plan = optimize_a(n, m, config)
+        assert plan.fpr == pytest.approx(plan.a / (m - n))
+
+    def test_recover_exceeds_a(self, config):
+        plan = optimize_a(1000, 3000, config)
+        assert plan.recover > plan.a  # Theorem 1 head-room
+
+    def test_total_below_both_extremes(self, config):
+        # The optimum beats both the near-zero-FPR filter and IBLT-only.
+        n, m = 2000, 6000
+        plan = optimize_a(n, m, config)
+        # IBLT-only: a = m - n.
+        iblt_only = optimize_a(n, m, config).total_bytes  # sanity anchor
+        assert plan.total_bytes <= iblt_only
+        tiny_fpr_bloom = bloom_size_bytes(n, 1.0 / (m - n)) + 9
+        table = config.table()
+        assert plan.total_bytes <= tiny_fpr_bloom + config.iblt_bytes(
+            table.params_for(2))
+
+    def test_grows_sublinearly_in_m(self, config):
+        # Fig. 14: cost grows slowly as extra mempool txns accumulate.
+        n = 2000
+        t1 = optimize_a(n, n + n // 2, config).total_bytes
+        t2 = optimize_a(n, n + 5 * n, config).total_bytes
+        assert t2 < 2.5 * t1
+
+    def test_much_smaller_than_compact_blocks(self, config):
+        from repro.baselines.compact_blocks import compact_blocks_bytes
+        n, m = 2000, 4000
+        assert optimize_a(n, m, config).total_bytes < compact_blocks_bytes(n)
+
+    def test_rejects_negative(self, config):
+        with pytest.raises(ParameterError):
+            optimize_a(-1, 10, config)
+
+
+class TestOptimizeB:
+    def test_basic_shape(self, config):
+        plan = optimize_b(z=500, missing_bound=100, ystar=20, config=config)
+        assert 1 <= plan.a <= 100
+        assert plan.fpr == pytest.approx(plan.a / 100)
+        assert plan.recover == plan.a + 20
+
+    def test_missing_bound_zero_degenerates(self, config):
+        plan = optimize_b(z=100, missing_bound=0, ystar=5, config=config)
+        assert plan.fpr == 1.0
+        assert plan.bloom_bytes == 0
+        assert plan.recover >= 5
+
+    def test_recover_includes_ystar(self, config):
+        plan = optimize_b(z=300, missing_bound=50, ystar=40, config=config)
+        assert plan.recover >= 40
+
+    def test_rejects_negative(self, config):
+        with pytest.raises(ParameterError):
+            optimize_b(z=-1, missing_bound=10, ystar=0, config=config)
+
+
+class TestGrapheneConfig:
+    def test_defaults_match_paper(self, config):
+        assert config.beta == pytest.approx(239 / 240)
+        assert config.cell_bytes == 12
+        assert config.decode_denom == 240
+        assert config.short_id_bytes == 8
+        assert config.special_case_fpr == 0.1
+
+    def test_table_lookup(self, config):
+        assert config.table() is default_param_table(240)
+
+    def test_iblt_bytes(self, config):
+        params = config.table().params_for(10)
+        assert config.iblt_bytes(params) == 12 + params.cells * 12
+
+
+class TestCandidateSweep:
+    def test_small_region_exhaustive(self, config):
+        # The paper's <100 discrete-search requirement: every integer in
+        # the small region must be a candidate.
+        from repro.core.params import _candidate_values
+        values = _candidate_values(50, 1000)
+        assert set(range(1, EXHAUSTIVE_LIMIT + 1)) <= set(values)
+
+    def test_includes_upper(self):
+        from repro.core.params import _candidate_values
+        assert 1000 in _candidate_values(50, 1000)
+
+    def test_small_upper(self):
+        from repro.core.params import _candidate_values
+        assert _candidate_values(1, 3) == [1, 2, 3]

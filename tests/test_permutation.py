@@ -1,0 +1,98 @@
+"""Tests for the transaction-order codec (paper 6.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.ordering import ordering_info_bytes
+from repro.chain.permutation import (
+    decode_order,
+    encode_order,
+    lehmer_decode,
+    lehmer_encode,
+    log2_factorial,
+    ordering_overhead_ratio,
+)
+from repro.chain.transaction import TransactionGenerator
+from repro.errors import ParameterError
+
+
+class TestLehmer:
+    def test_identity_is_zero(self):
+        assert lehmer_encode([0, 1, 2, 3]) == 0
+
+    def test_reverse_is_max(self):
+        import math
+        n = 5
+        assert lehmer_encode(list(range(n - 1, -1, -1))) == \
+            math.factorial(n) - 1
+
+    @given(st.permutations(list(range(8))))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, perm):
+        perm = list(perm)
+        assert lehmer_decode(lehmer_encode(perm), len(perm)) == perm
+
+    def test_distinct_perms_distinct_codes(self):
+        import itertools
+        codes = {lehmer_encode(list(p))
+                 for p in itertools.permutations(range(5))}
+        assert len(codes) == 120
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ParameterError):
+            lehmer_encode([0, 0, 1])
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ParameterError):
+            lehmer_decode(10**6, 3)
+
+
+class TestOrderCodec:
+    def test_roundtrip_random_order(self, txgen):
+        txs = txgen.make_batch(30)
+        random.Random(3).shuffle(txs)
+        blob = encode_order(txs)
+        restored = decode_order(blob, list(reversed(txs)))
+        assert [t.txid for t in restored] == [t.txid for t in txs]
+
+    def test_size_is_entropy_floor(self, txgen):
+        txs = txgen.make_batch(100)
+        assert len(encode_order(txs)) == ordering_info_bytes(100)
+
+    def test_single_tx_free(self, txgen):
+        assert encode_order(txgen.make_batch(1)) == b""
+
+    def test_wrong_blob_length_rejected(self, txgen):
+        txs = txgen.make_batch(10)
+        with pytest.raises(ParameterError):
+            decode_order(b"\x00", txs)
+
+    def test_canonical_order_encodes_to_zeros(self, txgen):
+        from repro.chain.ordering import canonical_order
+        txs = canonical_order(txgen.make_batch(12))
+        blob = encode_order(txs)
+        assert int.from_bytes(blob, "little") == 0
+
+
+class TestAnalytics:
+    def test_log2_factorial_matches_exact(self):
+        import math
+        assert log2_factorial(10) == pytest.approx(
+            math.log2(math.factorial(10)))
+
+    def test_overhead_ratio_grows(self):
+        # Paper 6.2: the order field eventually dwarfs Graphene.
+        small = ordering_overhead_ratio(100, 500)
+        large = ordering_overhead_ratio(10_000, 15_000)
+        assert large > small
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            ordering_overhead_ratio(10, 0)
+        with pytest.raises(ParameterError):
+            log2_factorial(-1)

@@ -1,0 +1,164 @@
+"""Tests for ping-pong decoding (paper 4.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pds.iblt import IBLT
+from repro.pds.param_table import default_param_table
+from repro.pds.pingpong import pingpong_decode
+
+
+def _difference_pair(items, cells_a, cells_b, k_a=4, k_b=4):
+    """Two subtracted IBLTs over the same one-sided difference."""
+    a1 = IBLT(cells_a, k=k_a, seed=101)
+    a2 = IBLT(cells_a, k=k_a, seed=101)
+    b1 = IBLT(cells_b, k=k_b, seed=202)
+    b2 = IBLT(cells_b, k=k_b, seed=202)
+    for key in items:
+        a1.insert(key)
+        b1.insert(key)
+    return a1.subtract(a2), b1.subtract(b2)
+
+
+class TestPingPong:
+    def test_both_decodable_trivially_completes(self, rng):
+        items = [rng.getrandbits(64) for _ in range(10)]
+        first, second = _difference_pair(items, 60, 60)
+        result = pingpong_decode(first, second)
+        assert result.complete
+        assert result.local == set(items)
+
+    def test_rescues_undersized_primary(self, rng):
+        # Primary too small to decode alone; sibling unlocks it.
+        items = [rng.getrandbits(64) for _ in range(40)]
+        first, second = _difference_pair(items, 44, 80)
+        assert not first.decode().complete
+        result = pingpong_decode(first, second)
+        assert result.complete
+        assert result.local == set(items)
+
+    def test_order_does_not_matter(self, rng):
+        items = [rng.getrandbits(64) for _ in range(40)]
+        first, second = _difference_pair(items, 44, 80)
+        assert pingpong_decode(second, first).complete
+
+    def test_two_sided_difference(self, rng):
+        xs = {rng.getrandbits(64) for _ in range(15)}
+        ys = {rng.getrandbits(64) for _ in range(15)}
+        a1 = IBLT(48, seed=1)
+        a2 = IBLT(48, seed=1)
+        b1 = IBLT(120, seed=2)
+        b2 = IBLT(120, seed=2)
+        for key in xs:
+            a1.insert(key)
+            b1.insert(key)
+        for key in ys:
+            a2.insert(key)
+            b2.insert(key)
+        result = pingpong_decode(a1.subtract(a2), b1.subtract(b2))
+        assert result.complete
+        assert result.local == xs
+        assert result.remote == ys
+
+    def test_hopeless_pair_reports_partial(self, rng):
+        # Both structures far too small: no progress possible.
+        items = [rng.getrandbits(64) for _ in range(200)]
+        first, second = _difference_pair(items, 8, 8)
+        result = pingpong_decode(first, second)
+        assert not result.complete
+        assert result.local <= set(items)
+
+    def test_improves_failure_rate_statistically(self):
+        # Fig. 11's headline: sibling at i == j lowers failure to ~(1-p)^2.
+        rng = random.Random(9)
+        table = default_param_table(240)
+        j = 30
+        params = table.params_for(j)
+        single_fail = pair_fail = 0
+        trials = 150
+        for _ in range(trials):
+            items = [rng.getrandbits(64) for _ in range(j)]
+            first = IBLT(params.cells, k=params.k, seed=rng.getrandbits(30))
+            second = IBLT(params.cells, k=params.k,
+                          seed=rng.getrandbits(30) | 1)
+            empty1 = IBLT(first.cells, k=first.k, seed=first.seed)
+            empty2 = IBLT(second.cells, k=second.k, seed=second.seed)
+            first.update(items)
+            second.update(items)
+            if not first.subtract(empty1).decode().complete:
+                single_fail += 1
+            if not pingpong_decode(first.subtract(empty1),
+                                   second.subtract(empty2)).complete:
+                pair_fail += 1
+        assert pair_fail <= single_fail
+
+    def test_result_sets_are_frozensets(self, rng):
+        items = [rng.getrandbits(64) for _ in range(5)]
+        first, second = _difference_pair(items, 40, 40)
+        result = pingpong_decode(first, second)
+        assert isinstance(result.local, frozenset)
+        assert isinstance(result.remote, frozenset)
+
+
+class TestPingPongMany:
+    """The multi-neighbor extension at the end of paper 4.2."""
+
+    def _diffs(self, items, shapes):
+        from repro.pds.iblt import IBLT
+        diffs = []
+        for seed, cells in shapes:
+            full = IBLT(cells, seed=seed)
+            empty = IBLT(cells, seed=seed)
+            full.update(items)
+            diffs.append(full.subtract(empty))
+        return diffs
+
+    def test_three_undersized_iblts_jointly_decode(self, rng):
+        from repro.pds.pingpong import pingpong_decode_many
+        items = [rng.getrandbits(64) for _ in range(60)]
+        # Each alone is too small for 60 items (tau = 1.0).
+        diffs = self._diffs(items, [(1, 60), (2, 60), (3, 60)])
+        assert not diffs[0].decode().complete
+        result = pingpong_decode_many(diffs)
+        assert result.complete
+        assert result.local == set(items)
+
+    def test_single_iblt_degenerates_to_plain_decode(self, rng):
+        from repro.pds.pingpong import pingpong_decode_many
+        items = [rng.getrandbits(64) for _ in range(10)]
+        diffs = self._diffs(items, [(1, 60)])
+        result = pingpong_decode_many(diffs)
+        assert result.complete and result.local == set(items)
+
+    def test_empty_input_rejected(self):
+        import pytest as _pytest
+        from repro.errors import ParameterError
+        from repro.pds.pingpong import pingpong_decode_many
+        with _pytest.raises(ParameterError):
+            pingpong_decode_many([])
+
+    def test_hopeless_ensemble_reports_partial(self, rng):
+        from repro.pds.pingpong import pingpong_decode_many
+        items = [rng.getrandbits(64) for _ in range(300)]
+        diffs = self._diffs(items, [(1, 12), (2, 12), (3, 12)])
+        result = pingpong_decode_many(diffs)
+        assert not result.complete
+
+    def test_more_neighbors_help_statistically(self):
+        import random as _random
+        from repro.pds.pingpong import pingpong_decode_many
+        rng = _random.Random(4)
+        j, cells = 50, 56  # tau ~ 1.12: often undecodable alone
+        solo_fail = trio_fail = 0
+        for _ in range(60):
+            items = [rng.getrandbits(64) for _ in range(j)]
+            diffs = self._diffs(
+                items, [(rng.getrandbits(20), cells) for _ in range(3)])
+            if not diffs[0].decode().complete:
+                solo_fail += 1
+            if not pingpong_decode_many(diffs).complete:
+                trio_fail += 1
+        assert trio_fail < solo_fail

@@ -1,0 +1,71 @@
+"""Tests for the terminal plotting helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_plot
+from repro.errors import ParameterError
+
+ROWS = [
+    {"n": 100, "graphene": 500, "cb": 900},
+    {"n": 1000, "graphene": 1900, "cb": 6100},
+    {"n": 10000, "graphene": 14000, "cb": 60000},
+]
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_plot(ROWS, x="n", ys=["graphene", "cb"])
+        assert "o=graphene" in chart
+        assert "x=cb" in chart
+        assert chart.count("o") >= 3
+
+    def test_title_included(self):
+        chart = ascii_plot(ROWS, x="n", ys=["graphene"], title="fig")
+        assert chart.splitlines()[0] == "fig"
+
+    def test_axis_labels_present(self):
+        chart = ascii_plot(ROWS, x="n", ys=["graphene"])
+        assert "100" in chart
+        assert ("1.0e+04" in chart) or ("10000" in chart)
+
+    def test_log_scale(self):
+        chart = ascii_plot(ROWS, x="n", ys=["cb"], logy=True)
+        assert "(log y)" in chart
+
+    def test_skips_non_numeric(self):
+        rows = ROWS + [{"n": "oops", "graphene": None}]
+        chart = ascii_plot(rows, x="n", ys=["graphene"])
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = ascii_plot([{"n": 5, "y": 7}], x="n", ys=["y"])
+        assert "o" in chart
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ParameterError):
+            ascii_plot(ROWS, x="n", ys=[])
+
+    def test_rejects_all_non_numeric(self):
+        with pytest.raises(ParameterError):
+            ascii_plot([{"a": "x"}], x="a", ys=["b"])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ParameterError):
+            ascii_plot(ROWS, x="n", ys=["cb"], width=5)
+
+    def test_fixed_dimensions(self):
+        chart = ascii_plot(ROWS, x="n", ys=["graphene"], width=40,
+                           height=8)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 8
+
+
+class TestCliPlot:
+    def test_experiment_plot_flag(self, capsys):
+        from repro.cli import main
+        assert main(["experiment", "fig10", "--plot", "--x", "j",
+                     "--y", "cells"]) == 0
+        out = capsys.readouterr().out
+        assert "o=cells" in out and "|" in out

@@ -1,0 +1,77 @@
+"""Tests for CompactSize wire encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.serialization import (
+    compact_size,
+    compact_size_len,
+    read_compact_size,
+)
+
+
+class TestCompactSize:
+    @pytest.mark.parametrize("value,expected_len", [
+        (0, 1), (1, 1), (252, 1),
+        (253, 3), (65535, 3),
+        (65536, 5), (2**32 - 1, 5),
+        (2**32, 9), (2**64 - 1, 9),
+    ])
+    def test_boundary_widths(self, value, expected_len):
+        assert len(compact_size(value)) == expected_len
+        assert compact_size_len(value) == expected_len
+
+    @pytest.mark.parametrize("value,prefix", [
+        (253, 0xFD), (65536, 0xFE), (2**32, 0xFF),
+    ])
+    def test_prefix_bytes(self, value, prefix):
+        assert compact_size(value)[0] == prefix
+
+    def test_small_values_are_raw(self):
+        assert compact_size(7) == bytes([7])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compact_size(-1)
+        with pytest.raises(ValueError):
+            compact_size_len(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            compact_size(2**64)
+
+    def test_read_at_offset(self):
+        blob = b"\x00" * 3 + compact_size(300) + b"rest"
+        value, offset = read_compact_size(blob, 3)
+        assert value == 300
+        assert blob[offset:] == b"rest"
+
+    def test_read_truncated_payload(self):
+        with pytest.raises(ValueError):
+            read_compact_size(b"\xfd\x01")  # needs 2 payload bytes
+
+    def test_read_empty(self):
+        with pytest.raises(ValueError):
+            read_compact_size(b"", 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        encoded = compact_size(value)
+        decoded, offset = read_compact_size(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+        assert len(encoded) == compact_size_len(value)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_encoding_is_canonical_width(self, value):
+        # The chosen width is the smallest that fits.
+        width = len(compact_size(value))
+        if width == 3:
+            assert value >= 0xFD
+        elif width == 5:
+            assert value > 0xFFFF
+        elif width == 9:
+            assert value > 0xFFFFFFFF

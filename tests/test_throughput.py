@@ -1,0 +1,85 @@
+"""Tests for the throughput-ceiling analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.throughput import (
+    RELAY_MODELS,
+    ThroughputCeiling,
+    max_throughput,
+    propagation_delay,
+    throughput_table,
+)
+from repro.errors import ParameterError
+
+
+class TestPropagationDelay:
+    def test_formula(self):
+        assert propagation_delay(1000, hops=2, latency=0.1,
+                                 bandwidth=1000) == pytest.approx(2.2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            propagation_delay(100, hops=0)
+        with pytest.raises(ParameterError):
+            propagation_delay(-1)
+
+
+class TestModels:
+    def test_all_protocols_registered(self):
+        assert {"graphene", "compact_blocks", "xthin", "bloom_only",
+                "full_block"} <= set(RELAY_MODELS)
+
+    def test_graphene_smallest_at_scale(self):
+        n, m = 5000, 10_000
+        sizes = {name: model(n, m) for name, model in RELAY_MODELS.items()}
+        assert sizes["graphene"] == min(sizes.values())
+
+    def test_full_block_largest(self):
+        n, m = 5000, 10_000
+        sizes = {name: model(n, m) for name, model in RELAY_MODELS.items()}
+        assert sizes["full_block"] == max(sizes.values())
+
+
+class TestCeilings:
+    def test_graphene_admits_most_throughput(self):
+        rows = {row["protocol"]: row for row in throughput_table(
+            fork_budget=0.01, bandwidth=100_000.0, n_ceiling=200_000)}
+        assert (rows["graphene"]["max_tps"]
+                >= rows["compact_blocks"]["max_tps"]
+                > rows["full_block"]["max_tps"])
+
+    def test_ceiling_respects_budget(self):
+        ceiling = max_throughput("compact_blocks", fork_budget=0.005,
+                                 bandwidth=100_000.0, n_ceiling=100_000)
+        assert ceiling.delay_at_max <= ceiling.allowed_delay
+        assert ceiling.max_block_txns >= 1
+
+    def test_tighter_budget_lower_ceiling(self):
+        loose = max_throughput("compact_blocks", fork_budget=0.02,
+                               bandwidth=50_000.0, n_ceiling=100_000)
+        tight = max_throughput("compact_blocks", fork_budget=0.002,
+                               bandwidth=50_000.0, n_ceiling=100_000)
+        assert tight.max_block_txns <= loose.max_block_txns
+
+    def test_impossible_budget_yields_zero(self):
+        ceiling = max_throughput("full_block", fork_budget=1e-7,
+                                 latency=10.0, bandwidth=1000.0)
+        assert ceiling.max_block_txns == 0
+        assert ceiling.max_tps == 0.0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ParameterError):
+            max_throughput("carrier-pigeon")
+
+    def test_more_bandwidth_more_throughput(self):
+        slow = max_throughput("full_block", bandwidth=50_000.0,
+                              n_ceiling=100_000)
+        fast = max_throughput("full_block", bandwidth=500_000.0,
+                              n_ceiling=100_000)
+        assert fast.max_block_txns >= slow.max_block_txns
+
+    def test_result_type(self):
+        assert isinstance(max_throughput("graphene", n_ceiling=50_000),
+                          ThroughputCeiling)

@@ -1,0 +1,210 @@
+"""Tests for the binary wire codecs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.scenarios import make_block_scenario
+from repro.chain.transaction import Transaction, TransactionGenerator
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.core.protocol2 import (
+    build_protocol2_request,
+    finish_protocol2,
+    respond_protocol2,
+)
+from repro.errors import ParameterError
+from repro.net.wire import (
+    decode_bloom,
+    decode_iblt,
+    decode_protocol1_payload,
+    decode_protocol2_request,
+    decode_protocol2_response,
+    decode_transaction,
+    decode_tx_list,
+    encode_bloom,
+    encode_iblt,
+    encode_protocol1_payload,
+    encode_protocol2_request,
+    encode_protocol2_response,
+    encode_transaction,
+    encode_tx_list,
+)
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+from repro.utils.hashing import sha256
+
+
+class TestBloomCodec:
+    def test_roundtrip_membership(self):
+        bloom = BloomFilter.from_fpr(200, 0.01, seed=5)
+        items = [sha256(bytes([i])) for i in range(200)]
+        bloom.update(items)
+        decoded, offset = decode_bloom(encode_bloom(bloom))
+        assert offset == bloom.serialized_size()
+        assert all(item in decoded for item in items)
+
+    def test_identical_mistakes(self):
+        # The decoded filter must make exactly the same false positives.
+        bloom = BloomFilter.from_fpr(100, 0.05, seed=9)
+        bloom.update(sha256(bytes([i])) for i in range(100))
+        decoded, _ = decode_bloom(encode_bloom(bloom))
+        probes = [sha256(b"p" + i.to_bytes(2, "little")) for i in range(2000)]
+        assert ([p in bloom for p in probes]
+                == [p in decoded for p in probes])
+
+    def test_wire_length_matches_size_model(self):
+        bloom = BloomFilter.from_fpr(500, 0.001)
+        assert len(encode_bloom(bloom)) == bloom.serialized_size()
+
+    def test_degenerate_filter(self):
+        bloom = BloomFilter.from_fpr(10, 1.0)
+        decoded, _ = decode_bloom(encode_bloom(bloom))
+        assert decoded.is_degenerate
+        assert sha256(b"x") in decoded
+
+    def test_truncated_buffer_rejected(self):
+        bloom = BloomFilter.from_fpr(100, 0.01)
+        blob = encode_bloom(bloom)
+        with pytest.raises(ParameterError):
+            decode_bloom(blob[:-1])
+        with pytest.raises(ParameterError):
+            decode_bloom(blob[:4])
+
+
+class TestIBLTCodec:
+    def test_roundtrip_decode_equivalence(self, rng):
+        keys = [rng.getrandbits(64) for _ in range(40)]
+        iblt = IBLT(120, k=4, seed=7)
+        iblt.update(keys)
+        decoded, offset = decode_iblt(encode_iblt(iblt))
+        assert offset == iblt.serialized_size()
+        result = decoded.decode()
+        assert result.complete
+        assert result.local == set(keys)
+
+    def test_wire_length_matches_size_model(self):
+        iblt = IBLT(60, k=4)
+        assert len(encode_iblt(iblt)) == iblt.serialized_size()
+
+    def test_subtraction_across_the_wire(self, rng):
+        # Receiver decodes a wire IBLT and subtracts her own local one.
+        shared = [rng.getrandbits(64) for _ in range(30)]
+        extra = [rng.getrandbits(64) for _ in range(5)]
+        sender = IBLT(96, k=4, seed=3)
+        sender.update(shared + extra)
+        arrived, _ = decode_iblt(encode_iblt(sender))
+        local = IBLT(arrived.cells, k=arrived.k, seed=arrived.seed)
+        local.update(shared)
+        result = arrived.subtract(local).decode()
+        assert result.complete
+        assert result.local == set(extra)
+
+    def test_negative_counts_roundtrip(self, rng):
+        iblt = IBLT(24, k=4)
+        iblt.erase(1234)
+        decoded, _ = decode_iblt(encode_iblt(iblt))
+        result = decoded.decode()
+        assert result.remote == {1234}
+
+    def test_unsupported_cell_width_rejected(self):
+        with pytest.raises(ParameterError):
+            encode_iblt(IBLT(12, cell_bytes=4))
+
+    def test_wide_checksum_cells(self):
+        iblt = IBLT(24, k=4, cell_bytes=18)
+        iblt.insert(99)
+        decoded, _ = decode_iblt(encode_iblt(iblt))
+        assert decoded.decode().local == {99}
+
+    def test_truncated_rejected(self, rng):
+        iblt = IBLT(24, k=4)
+        blob = encode_iblt(iblt)
+        with pytest.raises(ParameterError):
+            decode_iblt(blob[: len(blob) // 2])
+
+
+class TestTransactionCodec:
+    def test_roundtrip(self, txgen):
+        tx = txgen.make()
+        decoded, offset = decode_transaction(encode_transaction(tx))
+        assert offset == 41
+        assert decoded.txid == tx.txid
+        assert decoded.size == tx.size
+
+    def test_list_roundtrip(self, txgen):
+        txs = txgen.make_batch(7)
+        decoded, _ = decode_tx_list(encode_tx_list(txs))
+        assert [t.txid for t in decoded] == [t.txid for t in txs]
+
+    def test_empty_list(self):
+        decoded, offset = decode_tx_list(encode_tx_list([]))
+        assert decoded == [] and offset == 1
+
+    @given(st.binary(min_size=32, max_size=32),
+           st.integers(1, 1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, txid, size):
+        tx = Transaction(txid=txid, size=size)
+        decoded, _ = decode_transaction(encode_transaction(tx))
+        assert decoded.txid == txid and decoded.size == size
+
+
+class TestProtocolMessageCodecs:
+    def test_protocol1_over_the_wire(self, config):
+        # Full Protocol 1 where the payload crosses a real byte buffer.
+        sc = make_block_scenario(n=150, extra=150, fraction=1.0, seed=71)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        blob = encode_protocol1_payload(payload)
+        arrived, offset = decode_protocol1_payload(blob)
+        assert offset == len(blob)
+        assert arrived.n == payload.n
+        result = receive_protocol1(arrived, sc.receiver_mempool, config,
+                                   validate_block=sc.block)
+        assert result.success
+
+    def test_protocol2_over_the_wire(self, config):
+        sc = make_block_scenario(n=150, extra=150, fraction=0.9, seed=72)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                               validate_block=sc.block)
+        assert not p1.success
+        request, state = build_protocol2_request(p1, payload, sc.m, config)
+        req_blob = encode_protocol2_request(request)
+        arrived_req, off = decode_protocol2_request(req_blob)
+        assert off == len(req_blob)
+        assert arrived_req.b == request.b
+        assert arrived_req.ystar == request.ystar
+        response = respond_protocol2(arrived_req, sc.block.txs, sc.m, config)
+        resp_blob = encode_protocol2_response(response)
+        arrived_resp, off = decode_protocol2_response(resp_blob)
+        assert off == len(resp_blob)
+        result = finish_protocol2(arrived_resp, state, sc.receiver_mempool,
+                                  config, validate_block=sc.block)
+        assert result.decode_complete
+
+    def test_special_case_response_carries_f(self, config):
+        sc = make_block_scenario(n=120, extra=0, fraction=0.6, seed=73)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                               validate_block=sc.block)
+        request, state = build_protocol2_request(p1, payload, sc.m, config)
+        assert request.special_case
+        response = respond_protocol2(request, sc.block.txs, sc.m, config)
+        arrived, _ = decode_protocol2_response(
+            encode_protocol2_response(response))
+        assert arrived.bloom_f is not None
+
+    def test_request_flag_roundtrip(self, config):
+        sc = make_block_scenario(n=120, extra=0, fraction=0.6, seed=74)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                               validate_block=sc.block)
+        request, _ = build_protocol2_request(p1, payload, sc.m, config)
+        arrived, _ = decode_protocol2_request(
+            encode_protocol2_request(request))
+        assert arrived.special_case == request.special_case
