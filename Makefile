@@ -1,0 +1,24 @@
+# Entry points for the Graphene reproduction. `make ci` is the gate a
+# commit must pass: the tier-1 test suite plus the PDS perf guard.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test perf perf-check perf-update bench ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+perf:
+	$(PYTHON) -m pytest benchmarks/bench_perf_pds.py --benchmark-only -q
+
+perf-check:
+	$(PYTHON) scripts/check_perf.py
+
+perf-update:
+	$(PYTHON) scripts/check_perf.py --update
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+ci: test perf-check

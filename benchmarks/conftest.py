@@ -3,28 +3,42 @@
 Each bench runs one experiment driver once (timed by pytest-benchmark),
 prints the series the paper's figure plots, and writes the rows to
 ``benchmarks/results/<name>.json`` so EXPERIMENTS.md can cite them.
+Wall-clock per recorded row set is stamped into
+``benchmarks/results/_timings.json`` (a sidecar, so the row files keep
+the exact shape ``scripts/gen_experiments_md.py`` consumes).
 """
 
 from __future__ import annotations
 
 import json
+import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+TIMINGS_PATH = RESULTS_DIR / "_timings.json"
 
 
 @pytest.fixture
 def record_rows():
-    """Return a callable that prints and persists experiment rows."""
+    """Return a callable that prints and persists experiment rows.
+
+    The elapsed wall-clock from fixture setup (test start) to each
+    ``record(name, rows)`` call is stamped per name into the
+    ``_timings.json`` sidecar.
+    """
+    started = time.perf_counter()
 
     def _record(name: str, rows: list) -> list:
+        elapsed = time.perf_counter() - started
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.json"
         with open(path, "w") as handle:
             json.dump(rows, handle, indent=1, default=str)
-        print(f"\n[{name}] {len(rows)} rows -> {path}")
+        _stamp_timing(name, elapsed, len(rows))
+        print(f"\n[{name}] {len(rows)} rows in {elapsed:.2f}s -> {path}")
         for row in rows:
             cells = "  ".join(
                 f"{key}={_fmt(value)}" for key, value in row.items())
@@ -32,6 +46,22 @@ def record_rows():
         return rows
 
     return _record
+
+
+def _stamp_timing(name: str, elapsed: float, row_count: int) -> None:
+    timings = {}
+    if TIMINGS_PATH.exists():
+        try:
+            timings = json.loads(TIMINGS_PATH.read_text())
+        except (ValueError, OSError):
+            timings = {}
+    timings[name] = {
+        "elapsed_s": round(elapsed, 3),
+        "rows": row_count,
+        "recorded_at": datetime.now(timezone.utc)
+        .isoformat(timespec="seconds"),
+    }
+    TIMINGS_PATH.write_text(json.dumps(timings, indent=1, sort_keys=True))
 
 
 def _fmt(value):

@@ -1,0 +1,300 @@
+"""PDS hot-path microbenchmark suite (the BENCH_PDS trajectory).
+
+Times the columnar/batch-first structures of :mod:`repro.pds` against
+the frozen seed implementations in :mod:`repro.pds.reference`, in the
+same process on the same machine, so the before/after speedups recorded
+in ``BENCH_PDS.json`` are honest anywhere they are re-run.
+
+Cases (per n in 200 / 2 000 / 10 000):
+
+* ``iblt_build``          -- insert n short IDs into a difference-sized IBLT
+* ``iblt_subtract``       -- cell-wise difference of two built IBLTs
+* ``iblt_decode``         -- peel a subtracted difference of ~n/20 keys
+* ``iblt_build_decode``   -- the full reconciliation: build both, subtract, peel
+* ``bloom_build``         -- insert n txids at FPR 0.001
+* ``bloom_probe``         -- probe 2n txids (half present, half absent)
+
+plus one end-to-end ``protocol1_session`` at n = 2 000: sender builds
+S + I for a block, receiver sweeps an (n + 10%) mempool through S,
+builds I', subtracts and decodes -- the paper's common relay case.
+
+Every repetition draws fresh keys so the :class:`DerivedHasher` cache is
+cold where a real session's would be: speedups reflect first-touch work,
+not replayed cache hits across repetitions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.core.params import GrapheneConfig, optimize_a
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.chain.transaction import TransactionGenerator
+from repro.chain.mempool import Mempool
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+from repro.pds.param_table import default_param_table
+from repro.pds.reference import (
+    ReferenceBloomFilter,
+    ReferenceIBLT,
+)
+from repro.utils.hashing import sha256
+
+SIZES = (200, 2_000, 10_000)
+
+#: Symmetric-difference fraction for the decode-centric cases.
+DIFF_FRACTION = 20
+
+#: Repetitions per case; the minimum is reported to damp scheduler noise.
+REPS = 3
+
+
+def _keys(n: int, rng: random.Random) -> list[int]:
+    return [rng.getrandbits(64) for _ in range(n)]
+
+
+def _split_sets(n: int, rng: random.Random) -> tuple[list, list, int]:
+    """Two key sets of size n sharing all but ~n/DIFF_FRACTION keys."""
+    d = max(4, n // DIFF_FRACTION)
+    shared = _keys(n - d // 2, rng)
+    return (shared + _keys(d // 2, rng), shared + _keys(d - d // 2, rng), d)
+
+
+def _iblt_shape(d: int) -> tuple[int, int]:
+    params = default_param_table(240).params_for(max(1, d))
+    return params.cells, params.k
+
+
+def _time(fn: Callable[[], None], reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_pair(make_args: Callable[[], tuple],
+                new_run: Callable, ref_run: Callable,
+                reps: int = REPS) -> tuple[float, float]:
+    """Time new vs reference on identical, per-rep-fresh inputs."""
+    new_best = ref_best = float("inf")
+    for _ in range(reps):
+        args = make_args()
+        start = time.perf_counter()
+        new_run(*args)
+        new_best = min(new_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        ref_run(*args)
+        ref_best = min(ref_best, time.perf_counter() - start)
+    return ref_best, new_best
+
+
+# ---------------------------------------------------------------------------
+# IBLT cases
+# ---------------------------------------------------------------------------
+
+def bench_iblt_build(n: int, rng: random.Random) -> tuple[float, float]:
+    cells, k = _iblt_shape(max(4, n // DIFF_FRACTION))
+    return _timed_pair(
+        lambda: (_keys(n, rng),),
+        lambda keys: IBLT.from_keys(keys, cells, k=k, seed=rng.getrandbits(30)),
+        lambda keys: ReferenceIBLT.from_keys(keys, cells, k=k,
+                                             seed=rng.getrandbits(30)))
+
+
+def bench_iblt_subtract(n: int, rng: random.Random) -> tuple[float, float]:
+    xs, ys, d = _split_sets(n, rng)
+    cells, k = _iblt_shape(d)
+
+    def make_args():
+        seed = rng.getrandbits(30)
+        return (IBLT.from_keys(xs, cells, k=k, seed=seed),
+                IBLT.from_keys(ys, cells, k=k, seed=seed),
+                ReferenceIBLT.from_keys(xs, cells, k=k, seed=seed),
+                ReferenceIBLT.from_keys(ys, cells, k=k, seed=seed))
+
+    # Subtraction is microseconds; run it many times per repetition.
+    loops = 200
+    return _timed_pair(
+        make_args,
+        lambda a, b, ra, rb: [a.subtract(b) for _ in range(loops)],
+        lambda a, b, ra, rb: [ra.subtract(rb) for _ in range(loops)])
+
+
+def bench_iblt_decode(n: int, rng: random.Random) -> tuple[float, float]:
+    def make_args():
+        xs, ys, d = _split_sets(n, rng)
+        cells, k = _iblt_shape(d)
+        seed = rng.getrandbits(30)
+        return (IBLT.from_keys(xs, cells, k=k, seed=seed).subtract(
+                    IBLT.from_keys(ys, cells, k=k, seed=seed)),
+                ReferenceIBLT.from_keys(xs, cells, k=k, seed=seed).subtract(
+                    ReferenceIBLT.from_keys(ys, cells, k=k, seed=seed)))
+
+    return _timed_pair(
+        make_args,
+        lambda diff, ref_diff: diff.decode(),
+        lambda diff, ref_diff: ref_diff.decode())
+
+
+def bench_iblt_build_decode(n: int, rng: random.Random) -> tuple[float, float]:
+    def make_args():
+        xs, ys, d = _split_sets(n, rng)
+        cells, k = _iblt_shape(d)
+        return xs, ys, cells, k, rng.getrandbits(30)
+
+    def run_new(xs, ys, cells, k, seed):
+        diff = IBLT.from_keys(xs, cells, k=k, seed=seed).subtract(
+            IBLT.from_keys(ys, cells, k=k, seed=seed))
+        assert diff.decode().complete
+
+    def run_ref(xs, ys, cells, k, seed):
+        diff = ReferenceIBLT.from_keys(xs, cells, k=k, seed=seed).subtract(
+            ReferenceIBLT.from_keys(ys, cells, k=k, seed=seed))
+        assert diff.decode().complete
+
+    return _timed_pair(make_args, run_new, run_ref)
+
+
+# ---------------------------------------------------------------------------
+# Bloom cases
+# ---------------------------------------------------------------------------
+
+def _txids(n: int, rng: random.Random) -> list[bytes]:
+    return [sha256(rng.getrandbits(64).to_bytes(8, "little"))
+            for _ in range(n)]
+
+
+def bench_bloom_build(n: int, rng: random.Random) -> tuple[float, float]:
+    def make_args():
+        return (_txids(n, rng), rng.getrandbits(30) | 1)
+
+    def run_new(items, seed):
+        bloom = BloomFilter.from_fpr(n, 0.001, seed=seed)
+        bloom.update(items)
+
+    def run_ref(items, seed):
+        bloom = ReferenceBloomFilter.from_fpr(n, 0.001, seed=seed)
+        for item in items:
+            bloom.insert(item)
+
+    return _timed_pair(make_args, run_new, run_ref)
+
+
+def bench_bloom_probe(n: int, rng: random.Random) -> tuple[float, float]:
+    def make_args():
+        items = _txids(n, rng)
+        probes = items + _txids(n, rng)
+        seed = rng.getrandbits(30) | 1
+        bloom = BloomFilter.from_fpr(n, 0.001, seed=seed)
+        bloom.update(items)
+        bloom._index_cache.clear()  # cold probes, like a fresh receiver
+        ref = ReferenceBloomFilter.from_fpr(n, 0.001, seed=seed)
+        for item in items:
+            ref.insert(item)
+        return bloom, ref, probes
+
+    return _timed_pair(
+        make_args,
+        lambda bloom, ref, probes: bloom.contains_many(probes),
+        lambda bloom, ref, probes: [p in ref for p in probes])
+
+
+# ---------------------------------------------------------------------------
+# End-to-end Protocol 1 session
+# ---------------------------------------------------------------------------
+
+def _reference_protocol1_session(txs, mempool_txs, plan, config):
+    """Seed-faithful Protocol 1 relay using the reference PDS classes."""
+    n = len(txs)
+    bloom = ReferenceBloomFilter.from_fpr(n, plan.fpr, seed=config.seed ^ 0x5150)
+    iblt = ReferenceIBLT(plan.iblt.cells, k=plan.iblt.k,
+                         seed=config.seed ^ 0x1B17,
+                         cell_bytes=config.cell_bytes)
+    for tx in txs:
+        bloom.insert(tx.txid)
+        iblt.insert(tx.short_id(config.short_id_bytes))
+
+    candidates: dict = {}
+    iblt_prime = ReferenceIBLT(iblt.cells, k=iblt.k, seed=iblt.seed,
+                               cell_bytes=iblt.cell_bytes)
+    for tx in mempool_txs:
+        if tx.txid not in candidates and tx.txid in bloom:
+            candidates[tx.txid] = tx
+            iblt_prime.insert(tx.short_id(config.short_id_bytes))
+    decode = iblt.subtract(iblt_prime).decode()
+    if not decode.complete:
+        return None
+    width = config.short_id_bytes
+    return sorted((tx for tx in candidates.values()
+                   if tx.short_id(width) not in decode.remote),
+                  key=lambda tx: tx.txid)
+
+
+def bench_protocol1_session(n: int, rng: random.Random) -> tuple[float, float]:
+    config = GrapheneConfig()
+    extra = max(10, n // 10)
+
+    def make_args():
+        gen = TransactionGenerator(seed=rng.getrandbits(30))
+        txs = gen.make_batch(n)
+        mempool = Mempool()
+        mempool.add_many(txs + gen.make_batch(extra))
+        plan = optimize_a(n, len(mempool), config)
+        return txs, mempool, plan
+
+    def run_new(txs, mempool, plan):
+        payload = build_protocol1(txs, len(mempool), config, plan=plan,
+                                  auto_prefill_coinbase=False)
+        result = receive_protocol1(payload, mempool, config,
+                                   validate_block=None)
+        assert result.decode_complete
+
+    def run_ref(txs, mempool, plan):
+        result = _reference_protocol1_session(
+            txs, list(mempool), plan, config)
+        assert result is not None
+
+    return _timed_pair(make_args, run_new, run_ref)
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+CASES = {
+    "iblt_build": bench_iblt_build,
+    "iblt_subtract": bench_iblt_subtract,
+    "iblt_decode": bench_iblt_decode,
+    "iblt_build_decode": bench_iblt_build_decode,
+    "bloom_build": bench_bloom_build,
+    "bloom_probe": bench_bloom_probe,
+}
+
+E2E_N = 2_000
+
+
+def run_suite(sizes=SIZES, rng_seed: int = 20190819) -> list[dict]:
+    """Run every case; return rows of ``{case, n, seed_s, columnar_s, speedup}``."""
+    rng = random.Random(rng_seed)
+    rows = []
+    for name, bench in CASES.items():
+        for n in sizes:
+            ref_s, new_s = bench(n, rng)
+            rows.append({
+                "case": name, "n": n,
+                "seed_s": round(ref_s, 6),
+                "columnar_s": round(new_s, 6),
+                "speedup": round(ref_s / new_s, 2) if new_s else float("inf"),
+            })
+    ref_s, new_s = bench_protocol1_session(E2E_N, rng)
+    rows.append({
+        "case": "protocol1_session", "n": E2E_N,
+        "seed_s": round(ref_s, 6),
+        "columnar_s": round(new_s, 6),
+        "speedup": round(ref_s / new_s, 2) if new_s else float("inf"),
+    })
+    return rows

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Guard the PDS hot path against performance regressions.
+
+Re-runs the :mod:`perf_pds` suite and compares each case's live
+(``columnar_s``) time against the committed ``BENCH_PDS.json`` baseline.
+Exits nonzero when any case is more than ``--threshold`` (default 1.5x)
+slower than its committed time.
+
+The comparison is to wall-clock on the current machine, so a slower
+machine than the one that wrote the baseline can trip it; pass
+``--update`` after verifying to rewrite the baseline with fresh numbers
+(the acceptance floors of bench_perf_pds.py still apply: the update is
+refused if the speedups regress below 3x / 2x).
+
+Usage::
+
+    python scripts/check_perf.py            # compare, exit 1 on regression
+    python scripts/check_perf.py --update   # rewrite BENCH_PDS.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from perf_pds import run_suite  # noqa: E402
+
+BASELINE_PATH = REPO / "BENCH_PDS.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when columnar_s exceeds baseline by "
+                             "this factor (default: 1.5)")
+    parser.add_argument("--slack", type=float, default=0.0005,
+                        help="absolute seconds of grace on top of the "
+                             "threshold, so sub-millisecond cases cannot "
+                             "trip on timer noise (default: 0.0005)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_PDS.json with fresh numbers")
+    args = parser.parse_args()
+
+    if not BASELINE_PATH.exists() and not args.update:
+        print(f"no baseline at {BASELINE_PATH}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    rows = run_suite()
+    speedups = {(r["case"], r["n"]): r["speedup"] for r in rows}
+
+    if args.update:
+        floors = {("iblt_build_decode", 2000): 3.0,
+                  ("protocol1_session", 2000): 2.0}
+        for key, floor in floors.items():
+            if speedups[key] < floor:
+                print(f"refusing update: {key[0]} n={key[1]} speedup "
+                      f"{speedups[key]:.2f}x below the {floor:.0f}x floor",
+                      file=sys.stderr)
+                return 1
+        BASELINE_PATH.write_text(json.dumps(
+            {"units": "seconds",
+             "note": ("seed_s times the frozen repro.pds.reference "
+                      "implementations, columnar_s the live structures, "
+                      "in one process on one machine"),
+             "cases": rows}, indent=1) + "\n")
+        print(f"baseline rewritten: {BASELINE_PATH}")
+        return 0
+
+    baseline = {(r["case"], r["n"]): r
+                for r in json.loads(BASELINE_PATH.read_text())["cases"]}
+    failures = []
+    for row in rows:
+        key = (row["case"], row["n"])
+        committed = baseline.get(key)
+        if committed is None:
+            continue
+        ratio = (row["columnar_s"] / committed["columnar_s"]
+                 if committed["columnar_s"] else 1.0)
+        limit = committed["columnar_s"] * args.threshold + args.slack
+        slow = row["columnar_s"] > limit
+        flag = "REGRESSION" if slow else "ok"
+        print(f"{row['case']:20s} n={row['n']:6d}  "
+              f"baseline={committed['columnar_s']:.4f}s  "
+              f"now={row['columnar_s']:.4f}s  x{ratio:.2f}  {flag}")
+        if slow:
+            failures.append((key, ratio))
+
+    if failures:
+        print(f"\n{len(failures)} case(s) slower than {args.threshold}x "
+              "the committed baseline", file=sys.stderr)
+        return 1
+    print("\nall cases within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

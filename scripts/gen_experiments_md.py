@@ -345,6 +345,26 @@ def ablations() -> str:
     return "\n".join(parts)
 
 
+def perf_notes() -> str:
+    parts = ["## Performance (PDS hot path)\n"]
+    rows = load("perf_pds")
+    if rows:
+        by_key = {(r["case"], r["n"]): r["speedup"] for r in rows}
+        bd = by_key.get(("iblt_build_decode", 2000))
+        e2e = by_key.get(("protocol1_session", 2000))
+        if bd and e2e:
+            parts.append(
+                f"- **Columnar/batch PDS layer vs frozen seed "
+                f"implementations** (same process, same machine): "
+                f"{bd:.1f}x on IBLT build+decode and {e2e:.1f}x on an "
+                f"end-to-end Protocol 1 session at n=2000.  Full table: "
+                f"[BENCH_PDS.json](BENCH_PDS.json) "
+                f"(regenerate with `make perf`, guard with "
+                f"`make perf-check`).")
+    parts.append("")
+    return "\n".join(parts)
+
+
 def main() -> int:
     body = [
         "# EXPERIMENTS — paper vs measured\n",
@@ -358,7 +378,7 @@ def main() -> int:
         "by what factor, and where the crossovers sit.\n",
         fig07(), fig10(), fig11(), fig12(), fig13(), fig14(), fig15(),
         fig16(), fig17(), fig18(), fig19(), fig20(), sec51(), sec532(),
-        sec61(), ablations(), extensions(),
+        sec61(), ablations(), extensions(), perf_notes(),
     ]
     out = ROOT / "EXPERIMENTS.md"
     out.write_text("\n".join(body))

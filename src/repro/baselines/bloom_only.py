@@ -67,10 +67,11 @@ class BloomOnlyRelay:
         fpr = bloom_only_fpr(m, n, self.blocks_per_failure)
         bloom = BloomFilter.from_fpr(max(1, n), fpr, seed=0xB100)
         block_ids = block.txid_set()
-        for tx in block.txs:
-            bloom.insert(tx.txid)
+        bloom.update(tx.txid for tx in block.txs)
 
-        candidate = [tx for tx in receiver_mempool if tx.txid in bloom]
+        pool = list(receiver_mempool)
+        candidate = [tx for tx, hit in zip(pool, bloom.contains_many(
+            tx.txid for tx in pool)) if hit]
         false_positives = sum(
             1 for tx in candidate if tx.txid not in block_ids)
         success = (false_positives == 0

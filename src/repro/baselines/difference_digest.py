@@ -58,8 +58,14 @@ class StrataEstimator:
         return _trailing_zeros(word, self.num_strata - 1)
 
     def insert_all(self, keys: Iterable[int]) -> None:
+        # Bucket keys per stratum first so each IBLT takes one batch
+        # update instead of per-key dispatch.
+        buckets: list[list[int]] = [[] for _ in self.strata]
         for key in keys:
-            self.strata[self._stratum_of(key)].insert(key)
+            buckets[self._stratum_of(key)].append(key)
+        for stratum, bucket in zip(self.strata, buckets):
+            if bucket:
+                stratum.update(bucket)
 
     def serialized_size(self) -> int:
         return sum(s.serialized_size() for s in self.strata)

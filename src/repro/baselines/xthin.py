@@ -70,12 +70,12 @@ class XThinRelay:
         m = len(receiver_mempool)
         # Receiver: Bloom filter over her whole mempool rides the getdata.
         bloom = BloomFilter.from_fpr(max(1, m), self.mempool_fpr, seed=0x7417)
-        for tx in receiver_mempool:
-            bloom.insert(tx.txid)
+        bloom.update(tx.txid for tx in receiver_mempool)
         bloom_cost = bloom.serialized_size()
 
         # Sender: 8-byte ID list plus proactive push of filter misses.
-        pushed = [tx for tx in block.txs if tx.txid not in bloom]
+        pushed = [tx for tx, hit in zip(block.txs, bloom.contains_many(
+            tx.txid for tx in block.txs)) if not hit]
         shortid_cost = xthin_star_bytes(block.n)
 
         # Receiver reconstructs from mempool short IDs plus pushed txs.

@@ -65,6 +65,13 @@ def decode_bloom(data: bytes, offset: int = 0) -> tuple[BloomFilter, int]:
 # IBLT
 # ---------------------------------------------------------------------------
 
+#: Whole-cell struct codecs for the power-of-two checkSum widths; odd
+#: widths fall back to a per-cell ``to_bytes`` path.
+_CELL_STRUCTS = {1: struct.Struct("<hQB"), 2: struct.Struct("<hQH"),
+                 4: struct.Struct("<hQI"), 8: struct.Struct("<hQQ")}
+_COUNT_KEY_STRUCT = struct.Struct("<hQ")
+
+
 def encode_iblt(iblt: IBLT) -> bytes:
     """Serialize an IBLT; length equals ``serialized_size()``."""
     check_width = iblt.cell_bytes - 10
@@ -73,15 +80,25 @@ def encode_iblt(iblt: IBLT) -> bytes:
             f"cell_bytes={iblt.cell_bytes} not encodable: the checkSum "
             "field must be 1-8 bytes (cell_bytes in 11..18)")
     check_mask = (1 << (8 * check_width)) - 1
-    parts = [struct.pack("<IBIBH", iblt.cells, iblt.k, iblt.seed & _U32,
-                         iblt.cell_bytes, 0)]
-    for cell in iblt._table:
-        if not -32768 <= cell.count <= 32767:
-            raise ParameterError(f"cell count {cell.count} overflows i16")
-        parts.append(struct.pack("<hQ", cell.count, cell.key_sum))
-        parts.append((cell.check_sum & check_mask)
-                     .to_bytes(check_width, "little"))
-    return b"".join(parts)
+    out = bytearray(struct.pack("<IBIBH", iblt.cells, iblt.k,
+                                iblt.seed & _U32, iblt.cell_bytes, 0))
+    counts = iblt._counts
+    key_sums = iblt._key_sums
+    check_sums = iblt._check_sums
+    cell_struct = _CELL_STRUCTS.get(check_width)
+    pack_cell = cell_struct.pack if cell_struct is not None else None
+    try:
+        if pack_cell is not None:
+            for count, key_sum, check in zip(counts, key_sums, check_sums):
+                out += pack_cell(count, key_sum, check & check_mask)
+        else:
+            pack_ck = _COUNT_KEY_STRUCT.pack
+            for count, key_sum, check in zip(counts, key_sums, check_sums):
+                out += pack_ck(count, key_sum)
+                out += (check & check_mask).to_bytes(check_width, "little")
+    except struct.error as exc:
+        raise ParameterError(f"cell count overflows i16: {exc}") from exc
+    return bytes(out)
 
 
 def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
@@ -106,14 +123,27 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
     if offset + body > len(data):
         raise ParameterError("buffer exhausted while reading IBLT cells")
     iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
-    for cell in iblt._table:
-        count, key_sum = struct.unpack_from("<hQ", data, offset)
-        offset += 10
-        check = int.from_bytes(data[offset:offset + check_width], "little")
-        offset += check_width
-        cell.count = count
-        cell.key_sum = key_sum
-        cell.check_sum = check
+    counts = iblt._counts
+    key_sums = iblt._key_sums
+    check_sums = iblt._check_sums
+    cell_struct = _CELL_STRUCTS.get(check_width)
+    if cell_struct is not None:
+        i = 0
+        for count, key_sum, check in cell_struct.iter_unpack(
+                data[offset:offset + body]):
+            counts[i] = count
+            key_sums[i] = key_sum
+            check_sums[i] = check
+            i += 1
+        offset += body
+    else:
+        unpack_ck = _COUNT_KEY_STRUCT.unpack_from
+        for i in range(cells):
+            counts[i], key_sums[i] = unpack_ck(data, offset)
+            offset += 10
+            check_sums[i] = int.from_bytes(
+                data[offset:offset + check_width], "little")
+            offset += check_width
     return iblt, offset
 
 

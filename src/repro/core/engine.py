@@ -117,10 +117,9 @@ class GrapheneSenderEngine:
     def on_shortid_request(self, message: bytes) -> bytes:
         """Serve transactions requested by 8-byte short ID."""
         width = self.config.short_id_bytes
-        count = len(message) // width
         wanted = {
-            int.from_bytes(message[i * width:(i + 1) * width], "little")
-            for i in range(count)
+            int.from_bytes(message[i:i + width], "little")
+            for i in range(0, len(message) - width + 1, width)
         }
         txs = [tx for tx in self.block.txs
                if tx.short_id(width) in wanted]

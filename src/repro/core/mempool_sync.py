@@ -124,9 +124,9 @@ def synchronize_mempools(sender: Mempool, receiver: Mempool,
         result.roundtrips += 1.0
     fetched = []
     wanted = set(missing_ids)
-    for tx in sender_txs:
-        if tx.short_id(config.short_id_bytes) in wanted:
-            fetched.append(tx)
+    if wanted:
+        width = config.short_id_bytes
+        fetched = [tx for tx in sender_txs if tx.short_id(width) in wanted]
     if transfer_missing:
         cost.fetched_tx_bytes += sum(tx.size for tx in fetched)
         receiver.add_many(fetched)

@@ -115,9 +115,8 @@ def build_protocol1(txs: Sequence[Transaction], receiver_mempool_count: int,
     bloom = BloomFilter.from_fpr(n, plan.fpr, seed=config.seed ^ SEED_S)
     iblt = IBLT(plan.iblt.cells, k=plan.iblt.k, seed=config.seed ^ SEED_I,
                 cell_bytes=config.cell_bytes)
-    for tx in txs:
-        bloom.insert(tx.txid)
-        iblt.insert(tx.short_id(config.short_id_bytes))
+    bloom.update(tx.txid for tx in txs)
+    iblt.update(tx.short_id(config.short_id_bytes) for tx in txs)
     return Protocol1Payload(n=n, bloom_s=bloom, iblt_i=iblt,
                             recover=plan.recover, plan=plan,
                             prefilled=tuple(prefilled))
@@ -144,18 +143,19 @@ def receive_protocol1(payload: Protocol1Payload, mempool: Mempool,
     # Prefilled transactions (e.g. the coinbase) are in the block by
     # construction -- no Bloom test needed.
     for tx in payload.prefilled:
-        if tx.txid in candidates:
-            continue
-        candidates[tx.txid] = tx
-        index.add(tx)
-        iblt_prime.insert(tx.short_id(config.short_id_bytes))
-    for tx in mempool:
-        if tx.txid in candidates:
-            continue
-        if tx.txid in payload.bloom_s:
+        if tx.txid not in candidates:
             candidates[tx.txid] = tx
-            index.add(tx)
-            iblt_prime.insert(tx.short_id(config.short_id_bytes))
+    # One batch sweep of the mempool through S; survivors join the
+    # candidate set Z.
+    pool = [tx for tx in mempool if tx.txid not in candidates]
+    for tx, hit in zip(pool, payload.bloom_s.contains_many(
+            tx.txid for tx in pool)):
+        if hit:
+            candidates[tx.txid] = tx
+    for tx in candidates.values():
+        index.add(tx)
+    iblt_prime.update(tx.short_id(config.short_id_bytes)
+                      for tx in candidates.values())
 
     diff = payload.iblt_i.subtract(iblt_prime)
     decode = diff.decode()

@@ -165,8 +165,7 @@ def build_protocol2_request(
                                      seed=config.seed ^ 0xF00D)
         request = Protocol2Request(bloom_r=bloom, b=plan.a, ystar=ystar, z=z,
                                    xstar=xstar, special_case=False, plan=plan)
-    for txid in p1_result.candidates:
-        bloom.insert(txid)
+    bloom.update(p1_result.candidates)
     state = Protocol2ReceiverState(
         candidates=dict(p1_result.candidates),
         iblt_p1_diff=p1_result.iblt_diff, payload_n=n, fpr_s=fpr_s,
@@ -182,8 +181,9 @@ def respond_protocol2(request: Protocol2Request, txs: Sequence[Transaction],
     n = len(txs)
     in_r: list = []
     missing: list = []
-    for tx in txs:
-        (in_r if tx.txid in request.bloom_r else missing).append(tx)
+    hits = request.bloom_r.contains_many(tx.txid for tx in txs)
+    for tx, hit in zip(txs, hits):
+        (in_r if hit else missing).append(tx)
 
     table = config.table()
     bloom_f: Optional[BloomFilter] = None
@@ -200,8 +200,7 @@ def respond_protocol2(request: Protocol2Request, txs: Sequence[Transaction],
         plan_f = optimize_b(z_s, f_bound, ystar_s, config)
         bloom_f = BloomFilter.from_fpr(max(1, z_s), plan_f.fpr,
                                        seed=config.seed ^ 0xFEED)
-        for tx in in_r:
-            bloom_f.insert(tx.txid)
+        bloom_f.update(tx.txid for tx in in_r)
         recover = plan_f.a + ystar_s
     else:
         recover = request.b + request.ystar
@@ -209,8 +208,7 @@ def respond_protocol2(request: Protocol2Request, txs: Sequence[Transaction],
     params = table.params_for(max(1, recover))
     iblt = IBLT(params.cells, k=params.k, seed=config.seed ^ SEED_J,
                 cell_bytes=config.cell_bytes)
-    for tx in txs:
-        iblt.insert(tx.short_id(config.short_id_bytes))
+    iblt.update(tx.short_id(config.short_id_bytes) for tx in txs)
     return Protocol2Response(missing_txs=tuple(missing), iblt_j=iblt,
                              bloom_f=bloom_f, recover=max(1, recover))
 
@@ -225,8 +223,9 @@ def finish_protocol2(response: Protocol2Response,
     if response.bloom_f is not None:
         # Special case: F tells the receiver which candidates the sender
         # believes are in the block; the rest are discarded up front.
-        candidates = {txid: tx for txid, tx in candidates.items()
-                      if txid in response.bloom_f}
+        hits = response.bloom_f.contains_many(candidates)
+        candidates = {txid: tx for (txid, tx), hit
+                      in zip(candidates.items(), hits) if hit}
     dropped_by_f = {txid: tx for txid, tx in state.candidates.items()
                     if txid not in candidates}
     for tx in response.missing_txs:
@@ -238,7 +237,8 @@ def finish_protocol2(response: Protocol2Response,
                   cell_bytes=response.iblt_j.cell_bytes)
     for tx in candidates.values():
         index.add(tx)
-        jprime.insert(tx.short_id(config.short_id_bytes))
+    jprime.update(tx.short_id(config.short_id_bytes)
+                  for tx in candidates.values())
 
     diff = response.iblt_j.subtract(jprime)
     decode = diff.decode()
@@ -269,26 +269,23 @@ def finish_protocol2(response: Protocol2Response,
     }
     # local keys: block transactions absent from the candidate set.
     # Some may be resurrectable locally (dropped by F wrongly, or in the
-    # mempool but failed S); the remainder need a final getdata.
+    # mempool but failed S); the remainder need a final getdata.  One
+    # short-id map per pool replaces the old per-key linear rescans.
     still_missing = set()
-    for key in decode.local:
-        tx = None
-        for pool in (dropped_by_f,):
-            for cand in pool.values():
-                if cand.short_id(config.short_id_bytes) == key:
-                    tx = cand
-                    break
-            if tx:
-                break
-        if tx is None:
-            for cand in mempool:
-                if cand.short_id(config.short_id_bytes) == key:
-                    tx = cand
-                    break
-        if tx is None:
-            still_missing.add(key)
-        else:
-            surviving[tx.txid] = tx
+    if decode.local:
+        dropped_short: dict = {}
+        for cand in dropped_by_f.values():
+            dropped_short.setdefault(cand.short_id(config.short_id_bytes),
+                                     cand)
+        pool_short: dict = {}
+        for cand in mempool:
+            pool_short.setdefault(cand.short_id(config.short_id_bytes), cand)
+        for key in decode.local:
+            tx = dropped_short.get(key) or pool_short.get(key)
+            if tx is None:
+                still_missing.add(key)
+            else:
+                surviving[tx.txid] = tx
 
     result.recovered = surviving
     if still_missing:

@@ -156,10 +156,13 @@ class BlockRelaySession:
 
     def _fetch_by_short_id(self, block: Block, short_ids) -> list:
         wanted = set(short_ids)
+        width = self.config.short_id_bytes
         out = []
         for tx in block.txs:
-            sid = tx.short_id(self.config.short_id_bytes)
+            sid = tx.short_id(width)
             if sid in wanted:
                 out.append(tx)
                 wanted.discard(sid)
+                if not wanted:
+                    break
         return out

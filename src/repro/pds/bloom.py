@@ -18,7 +18,9 @@ Items are inserted by slicing their digest into ``k`` index words
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from typing import Iterable
 
 from repro.errors import ParameterError
@@ -26,6 +28,18 @@ from repro.utils.hashing import sha256, split_digest
 
 _LN2 = math.log(2.0)
 _LN2_SQ = _LN2 * _LN2
+
+_UNPACK_8I = struct.Struct("<8I").unpack
+
+try:  # optional vector backend for the batch entry points
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Below this many items the scalar loop beats numpy's fixed call overhead.
+_BATCH_MIN = 32
 
 
 def bloom_size_bits(n: int, f: float) -> int:
@@ -66,7 +80,11 @@ class BloomFilter:
         the protocols) make independent mistakes.
     """
 
-    __slots__ = ("nbits", "k", "seed", "count", "_bits", "_target_fpr")
+    __slots__ = ("nbits", "k", "seed", "count", "_bits", "_target_fpr",
+                 "_seed_prefix", "_seed_mid", "_index_cache")
+
+    #: Bound on the per-filter item -> bit-index cache (see ``_indices``).
+    CACHE_CAP = 1 << 16
 
     def __init__(self, nbits: int, k: int, seed: int = 0):
         if nbits < 0:
@@ -79,6 +97,11 @@ class BloomFilter:
         self.count = 0
         self._bits = bytearray((nbits + 7) // 8)
         self._target_fpr = 1.0
+        self._seed_prefix = seed.to_bytes(8, "little") if seed else b""
+        # Midstate with the seed prefix absorbed: each digest copies it
+        # and feeds only the item bytes.
+        self._seed_mid = hashlib.sha256(self._seed_prefix) if seed else None
+        self._index_cache: dict = {}
 
     @classmethod
     def from_fpr(cls, n: int, fpr: float, seed: int = 0) -> "BloomFilter":
@@ -114,32 +137,141 @@ class BloomFilter:
 
     def _digest(self, item: bytes) -> bytes:
         if self.seed:
-            return sha256(self.seed.to_bytes(8, "little") + item)
+            h = self._seed_mid.copy()
+            h.update(item)
+            return h.digest()
         # Transaction IDs are already cryptographic hashes; reuse them
         # directly (hash-splitting, paper 6.3) when no reseeding is needed.
         return item if len(item) >= 32 else sha256(item)
 
+    def _indices(self, item: bytes) -> tuple:
+        """Return the ``k`` bit indices for ``item``, cached per filter.
+
+        The protocols probe and insert the same txid against one filter
+        within a session (e.g. partitioning a block through R, then
+        building F over the hits); the cache makes the second touch free.
+        """
+        cache = self._index_cache
+        idx = cache.get(item)
+        if idx is None:
+            digest = self._digest(item)
+            k, nbits = self.k, self.nbits
+            if k <= 8 and len(digest) == 32:
+                # Inline hash splitting: identical to split_digest for a
+                # 32-byte digest and k direct words, minus the generator.
+                idx = tuple(w % nbits for w in _UNPACK_8I(digest)[:k])
+            else:
+                idx = tuple(split_digest(digest, k, nbits))
+            if len(cache) >= self.CACHE_CAP:
+                for stale in list(cache)[:self.CACHE_CAP // 2]:
+                    del cache[stale]
+            cache[item] = idx
+        return idx
+
+    def _batch_indices(self, items: list):
+        """Return the ``(len(items), k)`` bit-index matrix, vectorized.
+
+        Returns ``None`` when the vector path cannot run (no numpy, or
+        unseeded items that are not 32-byte digests); callers fall back
+        to the scalar loop.  Index values match :meth:`_indices` exactly:
+        the digests and the hash-splitting arithmetic are the same, only
+        computed column-wise.
+        """
+        if _np is None:
+            return None
+        if self.seed:
+            mid = self._seed_mid
+            digests = []
+            append = digests.append
+            for item in items:
+                h = mid.copy()
+                h.update(item)
+                append(h.digest())
+            blob = b"".join(digests)
+        else:
+            if any(len(item) != 32 for item in items):
+                return None
+            blob = b"".join(items)
+        words = _np.frombuffer(blob, dtype="<u4").reshape(len(items), 8)
+        k, nbits = self.k, self.nbits
+        if k <= 8:
+            return (words[:, :k] % _np.uint32(nbits)).astype(_np.intp)
+        h1 = words[:, 0].astype(_np.uint64)
+        h2 = words[:, 1].astype(_np.uint64) | _np.uint64(1)
+        derived = [((h1 + _np.uint64(i) * h2) & _np.uint64(_U64))
+                   % _np.uint64(nbits) for i in range(8, k)]
+        direct = words % _np.uint32(nbits)
+        return _np.column_stack([direct] + derived).astype(_np.intp)
+
     def insert(self, item: bytes) -> None:
         """Insert ``item`` (a byte string, typically a 32-byte txid)."""
-        self.count += 1
         if self.nbits == 0:
+            # Degenerate match-everything filter: nothing is folded into
+            # the (empty) bit array, so nothing is counted either --
+            # ``count`` tracks the load of the bit array, keeping
+            # ``actual_fpr`` and wire round-trips consistent.
             return
-        for idx in split_digest(self._digest(item), self.k, self.nbits):
-            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.count += 1
+        bits = self._bits
+        for idx in self._indices(item):
+            bits[idx >> 3] |= 1 << (idx & 7)
 
     def update(self, items: Iterable[bytes]) -> None:
-        """Insert every item of ``items``."""
+        """Insert every item of ``items`` (batch path)."""
+        if self.nbits == 0:
+            return
+        items = list(items)
+        if not items:
+            return
+        if len(items) >= _BATCH_MIN:
+            idx = self._batch_indices(items)
+            if idx is not None:
+                masks = _np.uint8(1) << (idx & 7).astype(_np.uint8)
+                _np.bitwise_or.at(
+                    _np.frombuffer(self._bits, dtype=_np.uint8),
+                    idx >> 3, masks)
+                self.count += len(items)
+                return
+        bits = self._bits
+        indices = self._indices
         for item in items:
-            self.insert(item)
+            for idx in indices(item):
+                bits[idx >> 3] |= 1 << (idx & 7)
+        self.count += len(items)
 
     def __contains__(self, item: bytes) -> bool:
         if self.nbits == 0:
             return True
-        digest = self._digest(item)
-        return all(
-            self._bits[idx >> 3] & (1 << (idx & 7))
-            for idx in split_digest(digest, self.k, self.nbits)
-        )
+        bits = self._bits
+        for idx in self._indices(item):
+            if not bits[idx >> 3] & (1 << (idx & 7)):
+                return False
+        return True
+
+    def contains_many(self, items: Iterable[bytes]) -> list:
+        """Return ``[item in self for item in items]`` in one sweep."""
+        if self.nbits == 0:
+            return [True for _ in items]
+        items = list(items)
+        if len(items) >= _BATCH_MIN:
+            idx = self._batch_indices(items)
+            if idx is not None:
+                bits = _np.frombuffer(self._bits, dtype=_np.uint8)
+                masks = _np.uint8(1) << (idx & 7).astype(_np.uint8)
+                return (bits[idx >> 3] & masks).astype(bool) \
+                    .all(axis=1).tolist()
+        bits = self._bits
+        indices = self._indices
+        out = []
+        append = out.append
+        for item in items:
+            for idx in indices(item):
+                if not bits[idx >> 3] & (1 << (idx & 7)):
+                    append(False)
+                    break
+            else:
+                append(True)
+        return out
 
     def actual_fpr(self) -> float:
         """Expected FPR given the current load: ``(1 - e^{-kn/m})^k``."""

@@ -18,6 +18,18 @@ section 2.1 of the paper:
 Keys are 64-bit integers -- the 8-byte short transaction IDs that
 Graphene stores in its IBLTs.
 
+Storage is columnar: three flat parallel arrays (``array('q')`` counts,
+``array('Q')`` keySums, ``array('Q')`` checkSums) instead of a list of
+cell objects.  ``subtract`` XORs whole columns through big-integer
+conversion, ``copy`` is three C-level memcpys, emptiness is a memcmp
+against zeros, and ``decode`` peels on scratch columns with a worklist
+of candidate pure cells rather than cloning a cell-object table.  Hash
+words come from the per-family :meth:`DerivedHasher.entry` cache, so a
+key digested while building ``I`` costs nothing to peel out of
+``I (-) I'``.  :class:`IBLTCell` survives as a snapshot value object for
+introspection (``cell_at``); the wire format and decode semantics are
+unchanged from the seed implementation.
+
 The decode loop includes the section 6.1 mitigation for adversarially
 malformed IBLTs: if the same key is peeled twice, decoding halts with
 :class:`~repro.errors.MalformedIBLTError` instead of looping forever.
@@ -25,13 +37,22 @@ malformed IBLTs: if the same key is peeled twice, decoding halts with
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import MalformedIBLTError, ParameterError
 from repro.utils.hashing import DerivedHasher
 
+try:  # optional vector backend for batch updates
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
+
 _U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Below this many keys the scalar loop beats numpy's fixed call overhead.
+_BATCH_MIN = 32
 
 #: Default serialized cell width in bytes: 2 (count) + 8 (keySum) + 2 (checkSum).
 DEFAULT_CELL_BYTES = 12
@@ -42,7 +63,11 @@ IBLT_HEADER_BYTES = 12
 
 @dataclass
 class IBLTCell:
-    """One IBLT cell: signed count, xor-of-keys, xor-of-checksums."""
+    """Snapshot of one IBLT cell: signed count, xor-of-keys, xor-of-checksums.
+
+    The live table is columnar; instances of this class are copies handed
+    out by :meth:`IBLT.cell_at` -- mutating one does not touch the IBLT.
+    """
 
     count: int = 0
     key_sum: int = 0
@@ -92,7 +117,8 @@ class IBLT:
         Serialized width of one cell, for wire-size accounting.
     """
 
-    __slots__ = ("cells", "k", "seed", "cell_bytes", "hasher", "_table", "count")
+    __slots__ = ("cells", "k", "seed", "cell_bytes", "hasher",
+                 "_counts", "_key_sums", "_check_sums", "count")
 
     def __init__(self, cells: int, k: int = 4, seed: int = 0,
                  cell_bytes: int = DEFAULT_CELL_BYTES):
@@ -109,8 +135,10 @@ class IBLT:
         self.k = k
         self.seed = seed
         self.cell_bytes = cell_bytes
-        self.hasher = DerivedHasher(k, seed=seed)
-        self._table = [IBLTCell() for _ in range(cells)]
+        self.hasher = DerivedHasher.shared(k, seed)
+        self._counts = array("q", bytes(8 * cells))
+        self._key_sums = array("Q", bytes(8 * cells))
+        self._check_sums = array("Q", bytes(8 * cells))
         self.count = 0
 
     # ------------------------------------------------------------------
@@ -119,12 +147,18 @@ class IBLT:
 
     def _apply(self, key: int, delta: int) -> None:
         key &= _U64
-        csum = self.hasher.checksum(key)
-        for idx in self.hasher.partitioned_indices(key, self.cells):
-            cell = self._table[idx]
-            cell.count += delta
-            cell.key_sum ^= key
-            cell.check_sum ^= csum
+        words, csum = self.hasher.entry(key)
+        csum &= 0xFFFF
+        width = self.cells // self.k
+        counts, key_sums, check_sums = \
+            self._counts, self._key_sums, self._check_sums
+        base = 0
+        for w in words:
+            idx = base + w % width
+            counts[idx] += delta
+            key_sums[idx] ^= key
+            check_sums[idx] ^= csum
+            base += width
 
     def insert(self, key: int) -> None:
         """Insert a 64-bit key."""
@@ -137,9 +171,55 @@ class IBLT:
         self.count -= 1
 
     def update(self, keys: Iterable[int]) -> None:
-        """Insert every key of ``keys``."""
+        """Insert every key of ``keys`` (batch path: one hash lookup each).
+
+        Large batches go through the numpy backend: one digest-blob sweep
+        via :meth:`DerivedHasher.batch_entries`, then the three columns
+        are updated wholesale (``bincount`` for counts, ``bitwise_xor.at``
+        for the sums).  The scalar loop below is the fallback and the
+        small-batch fast path; both orders of operation commute (cell
+        updates are adds and xors), so the resulting columns are
+        identical.
+        """
+        keys = [key & _U64 for key in keys]
+        if not keys:
+            return
+        if _np is not None and len(keys) >= _BATCH_MIN:
+            batched = self.hasher.batch_entries(keys)
+            if batched is not None:
+                self._update_batch(keys, *batched)
+                self.count += len(keys)
+                return
+        entry = self.hasher.entry
+        width = self.cells // self.k
+        counts, key_sums, check_sums = \
+            self._counts, self._key_sums, self._check_sums
         for key in keys:
-            self.insert(key)
+            words, csum = entry(key)
+            csum &= 0xFFFF
+            base = 0
+            for w in words:
+                idx = base + w % width
+                counts[idx] += 1
+                key_sums[idx] ^= key
+                check_sums[idx] ^= csum
+                base += width
+        self.count += len(keys)
+
+    def _update_batch(self, keys: list, words, csums) -> None:
+        """Fold ``keys`` into the columns through writable numpy views."""
+        k, cells = self.k, self.cells
+        width = cells // k
+        offsets = _np.arange(0, cells, width, dtype=_np.uint64)
+        idx = (words % _np.uint64(width) + offsets).ravel().astype(_np.intp)
+        counts = _np.frombuffer(self._counts, dtype=_np.int64)
+        counts += _np.bincount(idx, minlength=cells)
+        _np.bitwise_xor.at(
+            _np.frombuffer(self._key_sums, dtype=_np.uint64), idx,
+            _np.repeat(_np.array(keys, dtype=_np.uint64), k))
+        _np.bitwise_xor.at(
+            _np.frombuffer(self._check_sums, dtype=_np.uint64), idx,
+            _np.repeat(csums & _np.uint64(0xFFFF), k))
 
     @classmethod
     def from_keys(cls, keys: Iterable[int], cells: int, k: int = 4,
@@ -150,13 +230,12 @@ class IBLT:
         return iblt
 
     def copy(self) -> "IBLT":
-        """Return a deep copy."""
+        """Return a deep copy (three column memcpys)."""
         clone = IBLT(self.cells, k=self.k, seed=self.seed,
                      cell_bytes=self.cell_bytes)
-        for mine, theirs in zip(clone._table, self._table):
-            mine.count = theirs.count
-            mine.key_sum = theirs.key_sum
-            mine.check_sum = theirs.check_sum
+        clone._counts[:] = self._counts
+        clone._key_sums[:] = self._key_sums
+        clone._check_sums[:] = self._check_sums
         clone.count = self.count
         return clone
 
@@ -182,22 +261,23 @@ class IBLT:
                 f"({other.cells},{other.k},{other.seed})")
         diff = IBLT(self.cells, k=self.k, seed=self.seed,
                     cell_bytes=self.cell_bytes)
-        for out, a, b in zip(diff._table, self._table, other._table):
-            out.count = a.count - b.count
-            out.key_sum = a.key_sum ^ b.key_sum
-            out.check_sum = a.check_sum ^ b.check_sum
+        if _np is not None:
+            _np.subtract(_np.frombuffer(self._counts, dtype=_np.int64),
+                         _np.frombuffer(other._counts, dtype=_np.int64),
+                         out=_np.frombuffer(diff._counts, dtype=_np.int64))
+        else:
+            diff._counts = array("q", [a - b for a, b in
+                                       zip(self._counts, other._counts)])
+        # XOR columns wholesale: per-element XOR carries nothing between
+        # lanes, so one big-integer XOR over the raw column bytes is the
+        # exact element-wise result at C speed.
+        diff._key_sums = _xor_column(self._key_sums, other._key_sums)
+        diff._check_sums = _xor_column(self._check_sums, other._check_sums)
         diff.count = self.count - other.count
         return diff
 
     def __sub__(self, other: "IBLT") -> "IBLT":
         return self.subtract(other)
-
-    def _is_pure(self, cell: IBLTCell) -> bool:
-        # Purity rests on the checksum alone: a cell whose keySum happens
-        # to xor to zero (including the legitimate key 0) is still pure
-        # iff the checkSum matches that key's checksum.
-        return (cell.count in (1, -1)
-                and self.hasher.checksum(cell.key_sum) == cell.check_sum)
 
     def peel(self, key: int, sign: int) -> None:
         """Remove a key known (from elsewhere) to be in this difference.
@@ -208,41 +288,80 @@ class IBLT:
         """
         if sign not in (1, -1):
             raise ParameterError(f"sign must be +1 or -1, got {sign}")
-        self._apply(key, -sign if sign == 1 else 1)
+        self._apply(key, -sign)
 
     def decode(self) -> DecodeResult:
         """Peel this IBLT, returning the recovered symmetric difference.
 
-        Non-destructive: peeling operates on a scratch copy.  Raises
-        :class:`MalformedIBLTError` when the same key is recovered twice,
-        the section 6.1 defence against adversarial endless-loop IBLTs.
+        Non-destructive: peeling operates on scratch copies of the three
+        columns.  Raises :class:`MalformedIBLTError` when the same key is
+        recovered twice, the section 6.1 defence against adversarial
+        endless-loop IBLTs.
         """
-        scratch = self.copy()
+        counts = array("q", self._counts)
+        key_sums = array("Q", self._key_sums)
+        check_sums = array("Q", self._check_sums)
+        entry = self.hasher.entry
+        width = self.cells // self.k
         local: set = set()
         remote: set = set()
-        stack = [i for i, cell in enumerate(scratch._table)
-                 if scratch._is_pure(cell)]
+        stack = [i for i in range(self.cells) if counts[i] in (1, -1)]
         while stack:
             idx = stack.pop()
-            cell = scratch._table[idx]
-            if not scratch._is_pure(cell):
+            sign = counts[idx]
+            if sign not in (1, -1):
                 continue
-            key = cell.key_sum
-            sign = cell.count
+            key = key_sums[idx]
+            words, csum = entry(key)
+            if csum & 0xFFFF != check_sums[idx]:
+                continue
             if key in local or key in remote:
                 raise MalformedIBLTError(
                     f"key {key:#x} decoded twice; IBLT is malformed")
             (local if sign == 1 else remote).add(key)
-            scratch._apply(key, -sign)
-            for nxt in scratch.hasher.partitioned_indices(key, scratch.cells):
-                if scratch._is_pure(scratch._table[nxt]):
+            csum &= 0xFFFF
+            base = 0
+            for w in words:
+                nxt = base + w % width
+                counts[nxt] -= sign
+                key_sums[nxt] ^= key
+                check_sums[nxt] ^= csum
+                base += width
+                if counts[nxt] in (1, -1):
                     stack.append(nxt)
-        complete = all(cell.is_empty() for cell in scratch._table)
+        zeros = bytes(8 * self.cells)
+        complete = (counts.tobytes() == zeros
+                    and key_sums.tobytes() == zeros
+                    and check_sums.tobytes() == zeros)
         return DecodeResult(complete, frozenset(local), frozenset(remote))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def cell_at(self, idx: int) -> IBLTCell:
+        """Return a snapshot of cell ``idx`` (mutations do not write back)."""
+        return IBLTCell(self._counts[idx], self._key_sums[idx],
+                        self._check_sums[idx])
+
+    def xor_cell(self, idx: int, key: int, delta: int) -> None:
+        """Fold ``key`` (with checksum) into the single cell ``idx``.
+
+        This is *not* a normal insertion -- it touches one cell instead of
+        ``k`` -- and exists so attack constructions (paper 6.1 malformed
+        IBLTs) and white-box tests can build inconsistent tables.
+        """
+        key &= _U64
+        self._counts[idx] += delta
+        self._key_sums[idx] ^= key
+        self._check_sums[idx] ^= self.hasher.checksum(key)
+
+    def is_empty(self) -> bool:
+        """True when every cell is all-zero."""
+        zeros = bytes(8 * self.cells)
+        return (self._counts.tobytes() == zeros
+                and self._key_sums.tobytes() == zeros
+                and self._check_sums.tobytes() == zeros)
 
     def serialized_size(self) -> int:
         """Wire size in bytes: header plus ``cells * cell_bytes``."""
@@ -254,3 +373,18 @@ class IBLT:
     def __repr__(self) -> str:
         return (f"IBLT(cells={self.cells}, k={self.k}, seed={self.seed}, "
                 f"count={self.count})")
+
+
+def _xor_column(a: array, b: array) -> array:
+    """Element-wise XOR of two equal-shape unsigned columns."""
+    if _np is not None:
+        out = array("Q", bytes(8 * len(a)))
+        _np.bitwise_xor(_np.frombuffer(a, dtype=_np.uint64),
+                        _np.frombuffer(b, dtype=_np.uint64),
+                        out=_np.frombuffer(out, dtype=_np.uint64))
+        return out
+    blob = (int.from_bytes(a.tobytes(), "little")
+            ^ int.from_bytes(b.tobytes(), "little"))
+    out = array("Q")
+    out.frombytes(blob.to_bytes(8 * len(a), "little"))
+    return out

@@ -34,12 +34,8 @@ def make_malformed_iblt(cells: int = 60, k: int = 4, seed: int = 0,
     if honest_keys:
         iblt.update(honest_keys)
     key = poison_key & 0xFFFFFFFFFFFFFFFF
-    csum = iblt.hasher.checksum(key)
     indices = iblt.hasher.partitioned_indices(key, iblt.cells)
     for idx in indices[:-1]:  # skip the last cell: the malformation
-        cell = iblt._table[idx]
-        cell.count += 1
-        cell.key_sum ^= key
-        cell.check_sum ^= csum
+        iblt.xor_cell(idx, key, +1)
     iblt.count += 1
     return iblt

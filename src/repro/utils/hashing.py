@@ -21,7 +21,16 @@ import hashlib
 import struct
 from typing import Iterator
 
+try:  # optional vector backend for the batch entry points
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
+
 _U64 = 0xFFFFFFFFFFFFFFFF
+
+_PACK_Q = struct.Struct("<Q").pack
+_UNPACK_QQQQ = struct.Struct("<QQQQ").unpack
+_UNPACK_QQ_FROM = struct.Struct("<QQ").unpack_from
 
 
 def sha256(data: bytes) -> bytes:
@@ -72,9 +81,25 @@ class DerivedHasher:
     instance is deterministic given ``(seed, k)``; different seeds give
     (statistically) independent families, which is what ping-pong decoding
     requires of the two IBLTs.
+
+    Each instance keeps a bounded hash-word cache (key -> the ``k`` 64-bit
+    words plus the checksum base), so a key digested once is free on every
+    later insert/peel/probe against any structure sharing the hasher.  The
+    protocols sweep the same mempool against S, I, I', J and J' in one
+    session; :meth:`shared` hands all structures of one ``(k, seed)``
+    family the same instance so they also share the cache.
     """
 
-    __slots__ = ("seed", "k", "_prefix")
+    __slots__ = ("seed", "k", "_prefix", "_cache", "_cache_cap",
+                 "_mid_base", "_mid_words", "_blob_words", "_unpack_blob")
+
+    #: Bound on cached keys per family; at ~100 B/entry this caps the
+    #: cache near 13 MB.  Eviction drops the oldest half (insertion
+    #: order), an O(1)-amortized approximation of LRU.
+    CACHE_CAP = 1 << 17
+
+    #: Registry of shared per-family instances (see :meth:`shared`).
+    _shared: dict = {}
 
     def __init__(self, k: int, seed: int = 0):
         if k < 1:
@@ -82,6 +107,102 @@ class DerivedHasher:
         self.k = k
         self.seed = seed
         self._prefix = struct.pack("<Q", seed & _U64)
+        self._cache: dict[int, bytes] = {}
+        self._cache_cap = self.CACHE_CAP
+        # SHA-256 midstates with the seed prefix (and, for the index
+        # words, the counter) already absorbed; a cache miss copies these
+        # and feeds only the 8-byte key instead of rebuilding the message.
+        self._mid_base = hashlib.sha256(self._prefix)
+        self._mid_words = hashlib.sha256(self._prefix + b"\x00\x00\x00\x00")
+        # Cached blob layout: ceil(k/4) word digests then 16 bytes of the
+        # base digest -- a flat byte view both entry() and the numpy
+        # batch path can slice without re-hashing.
+        self._blob_words = 4 * ((k + 3) // 4)
+        self._unpack_blob = struct.Struct(f"<{self._blob_words + 2}Q").unpack
+
+    @classmethod
+    def shared(cls, k: int, seed: int = 0) -> "DerivedHasher":
+        """Return the process-wide hasher for the ``(k, seed)`` family.
+
+        Sibling structures (an IBLT ``I`` and its receiver-built ``I'``,
+        or a subtracted difference) share one hash family by protocol
+        design; sharing the instance means each txid is digested once per
+        family per process instead of once per structure.
+        """
+        hasher = cls._shared.get((k, seed))
+        if hasher is None:
+            # Bound the registry: decode-rate experiments spin up
+            # thousands of one-shot families.  Evicting only forgets the
+            # shared cache for that family; live structures keep their
+            # hasher reference and stay correct.
+            if len(cls._shared) >= 256:
+                for stale in list(cls._shared)[:128]:
+                    del cls._shared[stale]
+            hasher = cls._shared[(k, seed)] = cls(k, seed)
+        return hasher
+
+    def entry(self, key: int) -> tuple:
+        """Return ``(words, checksum_base)`` for ``key``, cached.
+
+        ``words`` is the tuple of ``k`` 64-bit hash words driving index
+        selection; ``checksum_base`` is the unmasked IBLT checksum value
+        (mask to taste with ``& ((1 << bits) - 1)``).  Two SHA-256
+        invocations on a miss, zero on a hit.
+        """
+        key &= _U64
+        blob = self._cache.get(key)
+        if blob is None:
+            blob = self._make_blob(key)
+        vals = self._unpack_blob(blob)
+        # base_pair() forces h2 odd, but bit 0 is shifted out by >> 7, so
+        # the raw word gives the identical checksum base.
+        return vals[:self.k], vals[-2] ^ (vals[-1] >> 7)
+
+    def _make_blob(self, key: int) -> bytes:
+        """Digest ``key`` into the cached blob (word digests + base pair)."""
+        packed = _PACK_Q(key)
+        if self.k <= 4:
+            # One digest covers up to four index words; slicing matches
+            # _words(key, k) exactly (counter 0, first k of four words).
+            h = self._mid_words.copy()
+            h.update(packed)
+            words_blob = h.digest()
+        else:
+            parts = []
+            for counter in range((self.k + 3) // 4):
+                parts.append(hashlib.sha256(
+                    self._prefix + struct.pack("<I", counter)
+                    + packed).digest())
+            words_blob = b"".join(parts)
+        h = self._mid_base.copy()
+        h.update(packed)
+        blob = words_blob + h.digest()[:16]
+        cache = self._cache
+        if len(cache) >= self._cache_cap:
+            for stale in list(cache)[:self._cache_cap // 2]:
+                del cache[stale]
+        cache[key] = blob
+        return blob
+
+    def batch_entries(self, keys):
+        """Vectorized :meth:`entry` over a key list (numpy backend).
+
+        Returns ``(words, csums)`` -- a ``(len(keys), k)`` uint64 array of
+        index words and a ``(len(keys),)`` uint64 array of unmasked
+        checksum bases -- or ``None`` when numpy is unavailable (callers
+        fall back to per-key :meth:`entry`).  Keys must already be masked
+        to 64 bits.  Misses are digested and cached exactly like
+        :meth:`entry` misses.
+        """
+        if _np is None:
+            return None
+        get = self._cache.get
+        make = self._make_blob
+        blob = b"".join([get(key) or make(key) for key in keys])
+        arr = _np.frombuffer(blob, dtype="<u8")
+        arr = arr.reshape(len(keys), self._blob_words + 2)
+        csums = arr[:, -2] ^ (arr[:, -1] >> _np.uint64(7))
+        return arr[:, :self.k], csums
 
     def base_pair(self, key: int) -> tuple[int, int]:
         """Return the ``(h1, h2)`` base values for ``key``."""
@@ -111,7 +232,7 @@ class DerivedHasher:
 
     def indices(self, key: int, modulus: int) -> list[int]:
         """Return ``k`` independent indices in ``[0, modulus)`` for ``key``."""
-        return [w % modulus for w in self._words(key, self.k)]
+        return [w % modulus for w in self.entry(key)[0]]
 
     def partitioned_indices(self, key: int, cells: int) -> list[int]:
         """Return one index per partition for an IBLT with ``cells`` cells.
@@ -127,13 +248,12 @@ class DerivedHasher:
         width = cells // self.k
         return [
             i * width + (w % width)
-            for i, w in enumerate(self._words(key, self.k))
+            for i, w in enumerate(self.entry(key)[0])
         ]
 
     def checksum(self, key: int, bits: int = 16) -> int:
         """Return a ``bits``-bit checksum of ``key`` for IBLT cells."""
-        h1, h2 = self.base_pair(key)
-        return (h1 ^ (h2 >> 7)) & ((1 << bits) - 1)
+        return self.entry(key)[1] & ((1 << bits) - 1)
 
     def __repr__(self) -> str:
         return f"DerivedHasher(k={self.k}, seed={self.seed})"

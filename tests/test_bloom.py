@@ -135,6 +135,59 @@ class TestConstruction:
         assert filt.serialized_size() == (filt.nbits + 7) // 8 + 9
 
 
+class TestBatchPaths:
+    """The vectorized batch entry points must match the scalar loops."""
+
+    def test_update_matches_scalar_inserts(self):
+        items = _ids(200)
+        batched = BloomFilter.from_fpr(200, 0.01, seed=9)
+        batched.update(items)
+        single = BloomFilter.from_fpr(200, 0.01, seed=9)
+        for item in items:
+            single.insert(item)
+        assert batched._bits == single._bits
+        assert len(batched) == len(single) == 200
+
+    def test_update_matches_scalar_unseeded(self):
+        # seed=0 reuses 32-byte txids as digests (hash splitting).
+        items = _ids(150)
+        batched = BloomFilter.from_fpr(150, 0.02)
+        batched.update(items)
+        single = BloomFilter.from_fpr(150, 0.02)
+        for item in items:
+            single.insert(item)
+        assert batched._bits == single._bits
+
+    def test_update_matches_scalar_high_k(self):
+        # k > 8 exercises the derived-hashing continuation of the
+        # splitting rule in both paths.
+        items = _ids(100)
+        batched = BloomFilter(503, 11, seed=3)
+        batched.update(items)
+        single = BloomFilter(503, 11, seed=3)
+        for item in items:
+            single.insert(item)
+        assert batched._bits == single._bits
+
+    def test_contains_many_matches_scalar(self):
+        items = _ids(120)
+        filt = BloomFilter.from_fpr(120, 0.05, seed=7)
+        filt.update(items)
+        probes = items[:60] + _ids(100, tag=b"q")
+        filt._index_cache.clear()
+        assert filt.contains_many(probes) == [p in filt for p in probes]
+
+    def test_degenerate_update_keeps_count_zero(self):
+        # Zero-bit filters fold nothing into the bit array, so nothing
+        # is counted: count tracks the bit-array load.
+        filt = BloomFilter.from_fpr(10, 1.0)
+        filt.update(_ids(5))
+        filt.insert(_ids(1)[0])
+        assert len(filt) == 0
+        assert filt.actual_fpr() == 1.0
+        assert filt.contains_many(_ids(3)) == [True, True, True]
+
+
 class TestPropertyBased:
     @given(st.sets(st.binary(min_size=32, max_size=32), max_size=60))
     @settings(max_examples=30, deadline=None)

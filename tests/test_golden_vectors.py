@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import hashlib
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.chain.transaction import Transaction
 from repro.codec import (
     decode_transaction,
@@ -19,6 +22,12 @@ from repro.codec import (
 )
 from repro.pds.bloom import BloomFilter
 from repro.pds.iblt import IBLT
+from repro.pds.reference import (
+    ReferenceBloomFilter,
+    ReferenceIBLT,
+    encode_reference_bloom,
+    encode_reference_iblt,
+)
 from repro.utils.hashing import DerivedHasher, sha256
 from repro.utils.siphash import siphash24
 
@@ -91,3 +100,52 @@ class TestHashFamilyGolden:
         # Already covered in test_siphash; repeated here as the spec's
         # single canonical anchor.
         assert siphash24(bytes(range(16)), b"") == 0x726FDB47DD0E0E31
+
+
+class TestSeedEquivalence:
+    """The columnar/cached PDS layer must be wire-identical to the seed.
+
+    :mod:`repro.pds.reference` preserves the pre-optimization
+    implementations; these property tests pin the optimized structures to
+    them -- byte-for-byte on the wire, set-for-set on decode -- for
+    randomized inputs, so independently written peers (and old recorded
+    vectors) keep interoperating.
+    """
+
+    @given(st.sets(st.integers(min_value=0, max_value=2**64 - 1),
+                   max_size=60),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_iblt_serialization_matches_seed(self, keys, seed):
+        new = IBLT.from_keys(keys, 120, k=4, seed=seed)
+        ref = ReferenceIBLT.from_keys(keys, 120, k=4, seed=seed)
+        assert encode_iblt(new) == encode_reference_iblt(ref)
+
+    @given(st.sets(st.integers(min_value=0, max_value=2**64 - 1),
+                   max_size=40),
+           st.sets(st.integers(min_value=0, max_value=2**64 - 1),
+                   max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_iblt_decode_matches_seed(self, xs, ys):
+        new = IBLT.from_keys(xs, 400, seed=3).subtract(
+            IBLT.from_keys(ys, 400, seed=3)).decode()
+        ref = ReferenceIBLT.from_keys(xs, 400, seed=3).subtract(
+            ReferenceIBLT.from_keys(ys, 400, seed=3)).decode()
+        assert new.complete == ref.complete
+        assert new.local == ref.local
+        assert new.remote == ref.remote
+
+    @given(st.lists(st.binary(min_size=32, max_size=32), max_size=50,
+                    unique=True),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bloom_serialization_matches_seed(self, items, seed):
+        n = max(1, len(items))
+        new = BloomFilter.from_fpr(n, 0.02, seed=seed)
+        ref = ReferenceBloomFilter.from_fpr(n, 0.02, seed=seed)
+        new.update(items)
+        for item in items:
+            ref.insert(item)
+        assert encode_bloom(new) == encode_reference_bloom(ref)
+        probes = items + [sha256(b"probe" + bytes([i])) for i in range(8)]
+        assert new.contains_many(probes) == [p in ref for p in probes]

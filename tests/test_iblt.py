@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.errors import MalformedIBLTError, ParameterError
 from repro.pds.iblt import DEFAULT_CELL_BYTES, IBLT, IBLT_HEADER_BYTES
+from repro.pds.reference import ReferenceIBLT
 
 KEYS = st.sets(st.integers(min_value=0, max_value=2**64 - 1), max_size=40)
 
@@ -161,6 +162,19 @@ class TestPeel:
         with pytest.raises(ParameterError):
             IBLT(24).peel(1, 0)
 
+    def test_peel_local_key_empties_table(self):
+        # A +1 key (local side of a difference) peels to a fully empty
+        # table: peel(key, +1) must apply delta -1 to every touched cell.
+        diff = IBLT.from_keys([0xAB], 24, seed=5).subtract(IBLT(24, seed=5))
+        diff.peel(0xAB, +1)
+        assert diff.is_empty()
+
+    def test_peel_remote_key_empties_table(self):
+        # A -1 key (remote side) peels with delta +1, also to empty.
+        diff = IBLT(24, seed=5).subtract(IBLT.from_keys([0xCD], 24, seed=5))
+        diff.peel(0xCD, -1)
+        assert diff.is_empty()
+
 
 class TestMalformedGuard:
     def test_decode_twice_raises(self):
@@ -168,12 +182,8 @@ class TestMalformedGuard:
         # without the paper's 6.1 guard.
         iblt = IBLT(24, k=4, seed=0)
         key = 0xFEED
-        csum = iblt.hasher.checksum(key)
         for idx in iblt.hasher.partitioned_indices(key, iblt.cells)[:-1]:
-            cell = iblt._table[idx]
-            cell.count += 1
-            cell.key_sum ^= key
-            cell.check_sum ^= csum
+            iblt.xor_cell(idx, key, +1)
         with pytest.raises(MalformedIBLTError):
             iblt.decode()
 
@@ -207,4 +217,57 @@ class TestPropertyBased:
             iblt.insert(key)
         for key in keys:
             iblt.erase(key)
-        assert all(cell.is_empty() for cell in iblt._table)
+        assert iblt.is_empty()
+        assert all(iblt.cell_at(i).is_empty() for i in range(iblt.cells))
+
+    @given(KEYS, KEYS)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_implementation(self, xs, ys):
+        # The columnar table and cached hasher must reproduce the seed
+        # implementation exactly: same decode outcome, same sets.
+        a = IBLT.from_keys(xs, 96, seed=13)
+        b = IBLT.from_keys(ys, 96, seed=13)
+        got = a.subtract(b).decode()
+        ra = ReferenceIBLT.from_keys(xs, 96, seed=13)
+        rb = ReferenceIBLT.from_keys(ys, 96, seed=13)
+        want = ra.subtract(rb).decode()
+        assert (got.complete, got.local, got.remote) \
+            == (want.complete, want.local, want.remote)
+
+    @given(KEYS)
+    @settings(max_examples=25, deadline=None)
+    def test_batch_update_matches_single_inserts(self, keys):
+        batched = IBLT(48, k=4, seed=21)
+        batched.update(keys)
+        single = IBLT(48, k=4, seed=21)
+        for key in keys:
+            single.insert(key)
+        assert batched._counts == single._counts
+        assert batched._key_sums == single._key_sums
+        assert batched._check_sums == single._check_sums
+        assert batched.count == single.count
+
+    def test_large_batch_update_matches_single_inserts(self):
+        # Large enough to force the vectorized path (hypothesis sets
+        # above rarely clear the batch threshold).
+        keys = _keys(300, seed=5)
+        batched = IBLT(96, k=4, seed=33)
+        batched.update(keys)
+        single = IBLT(96, k=4, seed=33)
+        for key in keys:
+            single.insert(key)
+        assert batched._counts == single._counts
+        assert batched._key_sums == single._key_sums
+        assert batched._check_sums == single._check_sums
+        assert batched.count == single.count
+
+    def test_large_batch_matches_reference_decode(self):
+        shared = _keys(220, seed=6)
+        xs = shared + _keys(30, seed=7)
+        ys = shared + _keys(25, seed=8)
+        got = IBLT.from_keys(xs, 400, seed=17).subtract(
+            IBLT.from_keys(ys, 400, seed=17)).decode()
+        want = ReferenceIBLT.from_keys(xs, 400, seed=17).subtract(
+            ReferenceIBLT.from_keys(ys, 400, seed=17)).decode()
+        assert (got.complete, got.local, got.remote) \
+            == (want.complete, want.local, want.remote)
