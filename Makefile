@@ -1,13 +1,17 @@
 # Entry points for the Graphene reproduction. `make ci` is the gate a
-# commit must pass: the tier-1 test suite plus the PDS perf guard.
+# commit must pass: the tier-1 test suite, the PDS perf guard, and the
+# end-to-end network smoke test.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf perf-check perf-update bench ci
+.PHONY: test perf perf-check perf-update bench smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) scripts/smoke_net.py
 
 perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_pds.py --benchmark-only -q
@@ -21,4 +25,4 @@ perf-update:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check
+ci: test perf-check smoke

@@ -28,15 +28,11 @@ from repro.chain.scenarios import (
     mempool_multiple_to_extra,
 )
 from repro.core.bounds import BETA_DEFAULT, x_star, y_star
+from repro.core.engine import GrapheneReceiverEngine, GrapheneSenderEngine
 from repro.core.mempool_sync import synchronize_mempools
 from repro.core.params import GrapheneConfig, optimize_a
-from repro.core.protocol1 import build_protocol1, receive_protocol1
-from repro.core.protocol2 import (
-    build_protocol2_request,
-    finish_protocol2,
-    respond_protocol2,
-)
 from repro.core.session import BlockRelaySession
+from repro.net.transport import LoopbackTransport
 from repro.pds.hypergraph import decode_many
 from repro.pds.iblt import IBLT
 from repro.pds.param_table import default_param_table
@@ -248,12 +244,15 @@ def fig15_rows(block_sizes: Sequence[int] = PAPER_BLOCK_SIZES,
             for t in range(trials):
                 scenario = make_block_scenario(
                     n, extra, 1.0, seed=seed + 104729 * t + n + int(multiple * 17))
-                payload = build_protocol1(scenario.block.txs,
-                                          scenario.m, config)
-                result = receive_protocol1(payload, scenario.receiver_mempool,
-                                           config,
-                                           validate_block=scenario.block)
-                if not result.success:
+                # One engine round: getdata -> P1 payload -> decode;
+                # escalation to Protocol 2 counts as a P1 failure.
+                sender = GrapheneSenderEngine(scenario.block, config)
+                receiver = GrapheneReceiverEngine(scenario.receiver_mempool,
+                                                  config)
+                action = receiver.start()
+                reply = sender.handle(action.command, action.message)
+                receiver.handle(reply.command, reply.message)
+                if not receiver.p1_success:
                     failures += 1
             rows.append({"n": n, "multiple": multiple, "trials": trials,
                          "failure_rate": failures / trials,
@@ -281,22 +280,17 @@ def fig16_rows(block_sizes: Sequence[int] = PAPER_BLOCK_SIZES,
                 scenario = make_block_scenario(
                     n, extra, fraction,
                     seed=seed + 65537 * t + n + int(fraction * 1000))
-                payload = build_protocol1(scenario.block.txs, scenario.m,
-                                          config)
-                p1 = receive_protocol1(payload, scenario.receiver_mempool,
-                                       config, validate_block=scenario.block)
-                if p1.success:
+                # Full engine exchange; the receiver records whether
+                # Protocol 2 ran and how its IBLT decode went.
+                sender = GrapheneSenderEngine(scenario.block, config)
+                receiver = GrapheneReceiverEngine(scenario.receiver_mempool,
+                                                  config)
+                LoopbackTransport(sender, receiver).run()
+                if receiver.protocol_used == 1:
                     continue
-                request, state = build_protocol2_request(
-                    p1, payload, scenario.m, config)
-                response = respond_protocol2(request, scenario.block.txs,
-                                             scenario.m, config)
-                p2 = finish_protocol2(response, state,
-                                      scenario.receiver_mempool, config,
-                                      validate_block=scenario.block)
-                if not p2.decode_complete_solo:
+                if not receiver.p2_decode_solo:
                     solo_fail += 1
-                if not p2.decode_complete:
+                if not receiver.p2_decode_complete:
                     pingpong_fail += 1
             rows.append({"n": n, "fraction": fraction, "trials": trials,
                          "failure_without_pingpong": solo_fail / trials,

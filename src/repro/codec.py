@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.chain.block import BlockHeader
 from repro.chain.transaction import Transaction
 from repro.errors import ParameterError
 from repro.pds.bloom import BloomFilter
@@ -72,13 +73,33 @@ _CELL_STRUCTS = {1: struct.Struct("<hQB"), 2: struct.Struct("<hQH"),
 _COUNT_KEY_STRUCT = struct.Struct("<hQ")
 
 
+#: Wire width of a full-fidelity cell (count i16 | keySum u64 |
+#: checkSum u64) used when ``cell_bytes`` lies outside 12..18: such
+#: widths are size-model fictions (the paper's cell-width sweeps assume
+#: shorter key sums; the 16-bit checksum cannot shrink below 2 bytes)
+#: and cannot carry the logical cell losslessly, so the wire ships
+#: whole cells and flags it in the header's pad field.  The analytic
+#: ``serialized_size()`` stays the accounting authority.
+_FULL_CELL_BYTES = 18
+_FULL_CELL_STRUCT = struct.Struct("<hQQ")
+
+
 def encode_iblt(iblt: IBLT) -> bytes:
-    """Serialize an IBLT; length equals ``serialized_size()``."""
+    """Serialize an IBLT; length equals ``serialized_size()`` for the
+    lossless cell widths (``cell_bytes`` 12..18, pad field 0)."""
     check_width = iblt.cell_bytes - 10
-    if check_width < 1 or check_width > 8:
-        raise ParameterError(
-            f"cell_bytes={iblt.cell_bytes} not encodable: the checkSum "
-            "field must be 1-8 bytes (cell_bytes in 11..18)")
+    if check_width < 2 or check_width > 8:
+        out = bytearray(struct.pack("<IBIBH", iblt.cells, iblt.k,
+                                    iblt.seed & _U32, iblt.cell_bytes,
+                                    _FULL_CELL_BYTES))
+        pack_full = _FULL_CELL_STRUCT.pack
+        try:
+            for count, key_sum, check in zip(iblt._counts, iblt._key_sums,
+                                             iblt._check_sums):
+                out += pack_full(count, key_sum, check)
+        except struct.error as exc:
+            raise ParameterError(f"cell count overflows i16: {exc}") from exc
+        return bytes(out)
     check_mask = (1 << (8 * check_width)) - 1
     out = bytearray(struct.pack("<IBIBH", iblt.cells, iblt.k,
                                 iblt.seed & _U32, iblt.cell_bytes, 0))
@@ -105,27 +126,39 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
     """Parse an IBLT; returns ``(iblt, new_offset)``."""
     if offset + 12 > len(data):
         raise ParameterError("buffer exhausted while reading IBLT header")
-    cells, k, seed, cell_bytes, _pad = struct.unpack_from(
+    cells, k, seed, cell_bytes, pad = struct.unpack_from(
         "<IBIBH", data, offset)
     offset += 12
     # Validate the claimed shape before trusting it: a hostile or
     # corrupted header must not drive reads past the buffer (the IBLT
     # constructor would also silently round cells up to a multiple of
     # k, desynchronizing the cell loop from the wire).
-    if not 11 <= cell_bytes <= 18:
+    if pad not in (0, _FULL_CELL_BYTES):
+        raise ParameterError(f"unknown IBLT wire-cell marker {pad}")
+    if pad == 0 and not 12 <= cell_bytes <= 18:
         raise ParameterError(
-            f"IBLT cell_bytes {cell_bytes} outside supported 11..18")
+            f"IBLT cell_bytes {cell_bytes} outside lossless 12..18")
     if k < 2 or cells < k or cells % k != 0:
         raise ParameterError(
             f"inconsistent IBLT shape: cells={cells}, k={k}")
-    check_width = cell_bytes - 10
-    body = cells * cell_bytes
-    if offset + body > len(data):
-        raise ParameterError("buffer exhausted while reading IBLT cells")
     iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
     counts = iblt._counts
     key_sums = iblt._key_sums
     check_sums = iblt._check_sums
+    if pad == _FULL_CELL_BYTES:
+        body = cells * _FULL_CELL_BYTES
+        if offset + body > len(data):
+            raise ParameterError("buffer exhausted while reading IBLT cells")
+        for i, (count, key_sum, check) in enumerate(
+                _FULL_CELL_STRUCT.iter_unpack(data[offset:offset + body])):
+            counts[i] = count
+            key_sums[i] = key_sum
+            check_sums[i] = check
+        return iblt, offset + body
+    check_width = cell_bytes - 10
+    body = cells * cell_bytes
+    if offset + body > len(data):
+        raise ParameterError("buffer exhausted while reading IBLT cells")
     cell_struct = _CELL_STRUCTS.get(check_width)
     if cell_struct is not None:
         i = 0
@@ -145,6 +178,33 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
                 data[offset:offset + check_width], "little")
             offset += check_width
     return iblt, offset
+
+
+# ---------------------------------------------------------------------------
+# Block headers
+# ---------------------------------------------------------------------------
+
+BLOCK_HEADER_BYTES = 80
+
+
+def encode_block_header(header: BlockHeader) -> bytes:
+    """Serialize a block header (Bitcoin's 80-byte layout)."""
+    return header.serialize()
+
+
+def decode_block_header(blob: bytes, offset: int = 0) -> BlockHeader:
+    """Parse the 80-byte header prefixed to a Protocol 1 message."""
+    if offset + BLOCK_HEADER_BYTES > len(blob):
+        raise ParameterError(
+            f"header must be {BLOCK_HEADER_BYTES} bytes, "
+            f"got {len(blob) - offset}")
+    version = int.from_bytes(blob[offset:offset + 4], "little")
+    prev_hash = blob[offset + 4:offset + 36]
+    merkle_root = blob[offset + 36:offset + 68]
+    timestamp, bits, nonce = struct.unpack_from("<III", blob, offset + 68)
+    return BlockHeader(version=version, prev_hash=prev_hash,
+                       merkle_root=merkle_root, timestamp=timestamp,
+                       bits=bits, nonce=nonce)
 
 
 # ---------------------------------------------------------------------------
@@ -211,6 +271,12 @@ def decode_protocol1_payload(data: bytes, offset: int = 0):
     prefilled, offset = decode_tx_list(data, offset)
     bloom, offset = decode_bloom(data, offset)
     iblt, offset = decode_iblt(data, offset)
+    # S was built over exactly the n block transactions (item count is
+    # not on the wire, but n is): restore its load so actual_fpr()
+    # reports (1 - e^{-kn/m})^k instead of the empty-filter 0.0, which
+    # would make the receiver treat S as degenerate and size IBLT J to
+    # the whole candidate set.
+    bloom.count = n
     fpr = bloom.actual_fpr() if bloom.nbits else 1.0
     plan = FilterIBLTPlan(
         a=0, fpr=fpr if fpr > 0 else 1.0, recover=recover,

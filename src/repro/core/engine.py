@@ -1,12 +1,28 @@
-"""Message-driven Graphene engines: explicit sender/receiver state machines.
+"""Message-driven Graphene engines: the single canonical relay flow.
 
-:class:`~repro.core.session.BlockRelaySession` computes a whole relay in
-one call, which is ideal for Monte-Carlo benchmarks.  Deployed clients
-instead react to *messages*.  These engines expose that shape: every
-step consumes an encoded byte string off the wire and returns the next
-encoded byte string to send (or the finished block), with all state
-kept inside the engine.  The network simulator's nodes drive them to
-run genuine multi-message Graphene over latency/bandwidth links.
+These sender/receiver state machines are the *only* implementation of
+the Graphene control flow (paper Figs. 2-3: Protocol 1 -> Protocol 2
+fallback -> ping-pong -> short-id fetch).  Every other layer is a thin
+driver over them:
+
+* :class:`~repro.core.session.BlockRelaySession` runs the pair over an
+  in-memory :class:`~repro.net.transport.LoopbackTransport`;
+* :class:`~repro.net.node.Node` routes wire messages to engines through
+  the :data:`SENDER_STEPS` / :data:`RECEIVER_STEPS` tables and ships
+  actions over simulated links;
+* mempool synchronization (paper 3.2.1) is the same engines in
+  ``mode="mempool"``: the sender treats its whole mempool as the block,
+  the receiver skips Merkle validation, and a Protocol 1 decode that
+  leaves missing short IDs fetches them instead of escalating.
+
+Every step consumes an encoded byte string off the wire and returns an
+:class:`EngineAction` -- the next message to send (with its
+:class:`~repro.core.telemetry.MessageEvent` byte accounting attached),
+completion, or failure.  The receiver engine records events for *both*
+directions of the exchange, so its telemetry list is the canonical
+per-relay stream that :meth:`CostBreakdown.from_events
+<repro.core.sizing.CostBreakdown.from_events>` folds into the paper's
+cost accounting.
 
 Message flow (paper Figs. 2-3)::
 
@@ -28,21 +44,13 @@ from __future__ import annotations
 import enum
 import logging
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.chain.block import Block, BlockHeader
 from repro.chain.mempool import Mempool
-from repro.core.params import GrapheneConfig
-from repro.core.protocol1 import build_protocol1, receive_protocol1
-from repro.core.protocol2 import (
-    Protocol2ReceiverState,
-    build_protocol2_request,
-    finish_protocol2,
-    respond_protocol2,
-)
-from repro.errors import ParameterError, ProtocolFailure
 from repro.codec import (
+    decode_block_header,
     decode_protocol1_payload,
     decode_protocol2_request,
     decode_protocol2_response,
@@ -52,9 +60,34 @@ from repro.codec import (
     encode_protocol2_response,
     encode_tx_list,
 )
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.core.protocol2 import (
+    Protocol2ReceiverState,
+    build_protocol2_request,
+    finish_protocol2,
+    respond_protocol2,
+)
+from repro.core.sizing import getdata_bytes, inv_bytes, short_id_request_bytes
+from repro.core.telemetry import MessageEvent
+from repro.errors import ParameterError, ProtocolFailure
 
 
 logger = logging.getLogger(__name__)
+
+#: Wire command -> receiver engine step (what a node's inbox does).
+RECEIVER_STEPS = {
+    "graphene_block": "on_p1_payload",
+    "graphene_p2_response": "on_p2_response",
+    "block_txs": "on_tx_list",
+}
+
+#: Wire command -> sender engine step.
+SENDER_STEPS = {
+    "getdata": "on_getdata",
+    "graphene_p2_request": "on_p2_request",
+    "getdata_shortids": "on_shortid_request",
+}
 
 
 class ReceiverPhase(enum.Enum):
@@ -77,7 +110,7 @@ class ActionKind(enum.Enum):
 
 
 @dataclass(frozen=True)
-class ReceiverAction:
+class EngineAction:
     """One step's outcome: a message to send, completion, or failure."""
 
     kind: ActionKind
@@ -87,98 +120,247 @@ class ReceiverAction:
     #: On DONE: the reconstructed block under the *received* header, so
     #: chain linkage (prev_hash, nonce) survives the relay.
     block: Optional[Block] = None
+    #: On SEND: the telemetry record for this message; its ``parts``
+    #: carry the analytic byte accounting the transports charge.
+    event: Optional[MessageEvent] = None
 
 
-@dataclass
+#: Historical name, kept for callers that predate sender actions.
+ReceiverAction = EngineAction
+
+
+def _p1_parts(payload) -> dict:
+    return {"bloom_s": payload.bloom_bytes,
+            "iblt_i": payload.iblt_bytes,
+            "counts": (payload.wire_size() - payload.bloom_bytes
+                       - payload.iblt_bytes)}
+
+
+def _p2_request_parts(request) -> dict:
+    return {"bloom_r": request.bloom_bytes,
+            "counts": request.wire_size() - request.bloom_bytes}
+
+
+def _p2_response_parts(response) -> dict:
+    return {"iblt_j": response.iblt_bytes,
+            "bloom_f": response.bloom_f_bytes,
+            "pushed_tx_bytes": response.txs_bytes,
+            "counts": (response.wire_size() - response.iblt_bytes
+                       - response.bloom_f_bytes - response.txs_bytes)}
+
+
 class GrapheneSenderEngine:
-    """Serves one block to any number of peers, message by message."""
+    """Serves one block (or a whole mempool) to any number of peers.
 
-    block: Block
-    config: GrapheneConfig = field(default_factory=GrapheneConfig)
+    Pass ``block`` for block relay; pass ``txs`` (a transaction list,
+    typically a mempool snapshot) for mempool synchronization, where
+    there is no header to prefix and no coinbase to prefill.
+    """
 
-    def on_getdata(self, message: bytes) -> bytes:
+    def __init__(self, block: Optional[Block] = None,
+                 config: Optional[GrapheneConfig] = None,
+                 txs: Optional[list] = None):
+        if (block is None) == (txs is None):
+            raise ParameterError(
+                "exactly one of block= or txs= must be provided")
+        self.block = block
+        self.txs = list(block.txs) if block is not None else list(txs)
+        self.mempool_mode = block is None
+        self.config = config or GrapheneConfig()
+        self.telemetry: list = []
+
+    def _emit(self, command: str, message: bytes, phase: str,
+              roundtrip: int, parts: dict) -> EngineAction:
+        event = MessageEvent(command=command, direction="sent",
+                             role="sender", phase=phase,
+                             roundtrip=roundtrip, parts=parts)
+        self.telemetry.append(event)
+        return EngineAction(ActionKind.SEND, command, message, event=event)
+
+    def on_getdata(self, message: bytes) -> EngineAction:
         """Handle a getdata carrying the receiver's mempool count."""
         if len(message) < 4:
             raise ParameterError("getdata too short")
         (m,) = struct.unpack_from("<I", message, 0)
-        payload = build_protocol1(self.block.txs, m, self.config)
-        return (self.block.header.serialize()
-                + encode_protocol1_payload(payload))
+        payload = build_protocol1(
+            self.txs, m, self.config,
+            auto_prefill_coinbase=not self.mempool_mode)
+        blob = encode_protocol1_payload(payload)
+        if not self.mempool_mode:
+            blob = self.block.header.serialize() + blob
+        return self._emit("graphene_block", blob, "p1", 1,
+                          _p1_parts(payload))
 
-    def on_p2_request(self, message: bytes) -> bytes:
+    def on_p2_request(self, message: bytes) -> EngineAction:
         """Handle a Protocol 2 request (R, y*, b)."""
         if len(message) < 4:
             raise ParameterError("p2 request too short")
         (m,) = struct.unpack_from("<I", message, 0)
         request, _ = decode_protocol2_request(message, 4)
-        response = respond_protocol2(request, self.block.txs, m, self.config)
-        return encode_protocol2_response(response)
+        response = respond_protocol2(request, self.txs, m, self.config)
+        return self._emit("graphene_p2_response",
+                          encode_protocol2_response(response), "p2", 2,
+                          _p2_response_parts(response))
 
-    def on_shortid_request(self, message: bytes) -> bytes:
-        """Serve transactions requested by 8-byte short ID."""
+    def on_shortid_request(self, message: bytes) -> EngineAction:
+        """Serve transactions requested by short ID."""
         width = self.config.short_id_bytes
         wanted = {
             int.from_bytes(message[i:i + width], "little")
             for i in range(0, len(message) - width + 1, width)
         }
-        txs = [tx for tx in self.block.txs
-               if tx.short_id(width) in wanted]
-        return encode_tx_list(txs)
+        txs = [tx for tx in self.txs if tx.short_id(width) in wanted]
+        return self._emit("block_txs", encode_tx_list(txs), "fetch", 3,
+                          {"fetched_tx_bytes": sum(tx.size for tx in txs)})
+
+    def handle(self, command: str, message: bytes) -> EngineAction:
+        """Dispatch on the wire command via :data:`SENDER_STEPS`."""
+        step = SENDER_STEPS.get(command)
+        if step is None:
+            raise ParameterError(f"sender cannot handle {command!r}")
+        return getattr(self, step)(message)
 
 
 class GrapheneReceiverEngine:
-    """Reassembles one block from a peer, message by message."""
+    """Reassembles one block (or mempool view), message by message.
+
+    ``mode="block"`` (default) validates against the Merkle root of the
+    received header and escalates any Protocol 1 shortfall to
+    Protocol 2.  ``mode="mempool"`` runs paper 3.2.1: no header, no
+    Merkle check, and a complete Protocol 1 decode with missing short
+    IDs fetches them directly.
+
+    ``telemetry`` collects a :class:`MessageEvent` per message in both
+    directions; pass a shared list to aggregate streams externally.
+    """
 
     def __init__(self, mempool: Mempool,
-                 config: Optional[GrapheneConfig] = None):
+                 config: Optional[GrapheneConfig] = None,
+                 mode: str = "block",
+                 telemetry: Optional[list] = None):
+        if mode not in ("block", "mempool"):
+            raise ParameterError(f"unknown engine mode {mode!r}")
         self.mempool = mempool
         self.config = config or GrapheneConfig()
+        self.mode = mode
+        self.telemetry = telemetry if telemetry is not None else []
         self.phase = ReceiverPhase.IDLE
         self.header: Optional[BlockHeader] = None
-        self.block_for_validation: Optional[Block] = None
         self._p2_state: Optional[Protocol2ReceiverState] = None
-        self._recovered: dict = {}
+        #: Transactions recovered so far, keyed by txid; on DONE this is
+        #: the reconciled view drivers adopt (mempool sync's union).
+        self.reconciled: dict = {}
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Exchange summary, valid once the engine reaches DONE/FAILED.
+        self.roundtrips = 0.0
+        self.protocol_used = 1
+        self.p1_success = False
+        self.p1_decode_failed = False
+        self.p2_used_pingpong = False
+        self.p2_decode_solo = False
+        self.p2_decode_complete = False
+        self.fetched_count = 0
+        self.missing_short_ids: frozenset = frozenset()
 
     # ------------------------------------------------------------------
 
-    def start(self) -> ReceiverAction:
+    def _record(self, command: str, direction: str, phase: str,
+                roundtrip: int, parts: dict,
+                outcome: str = "") -> MessageEvent:
+        event = MessageEvent(command=command, direction=direction,
+                             role="receiver", phase=phase,
+                             roundtrip=roundtrip, parts=parts,
+                             outcome=outcome)
+        self.telemetry.append(event)
+        return event
+
+    def start(self) -> EngineAction:
         """Begin: emit the getdata with our mempool count."""
         if self.phase is not ReceiverPhase.IDLE:
             raise ProtocolFailure(f"cannot start from phase {self.phase}")
         self.phase = ReceiverPhase.WAIT_P1
-        message = struct.pack("<I", len(self.mempool))
+        self.roundtrips = 1.5
+        m = len(self.mempool)
+        if self.mode == "block":
+            # The inv that triggered this exchange, so the stream covers
+            # the whole relay the way the paper's accounting does.
+            self._record("inv", "received", "inv", 0, {"inv": inv_bytes()})
+        message = struct.pack("<I", m)
         self.bytes_sent += len(message)
-        return ReceiverAction(ActionKind.SEND, "getdata", message)
+        event = self._record("getdata", "sent", "p1", 1,
+                             {"getdata": getdata_bytes(m)})
+        return EngineAction(ActionKind.SEND, "getdata", message, event=event)
 
-    def _fail(self) -> ReceiverAction:
+    def _fail(self) -> EngineAction:
         logger.info("graphene receiver failed in phase %s; caller should "
                     "fall back to a full block", self.phase)
         self.phase = ReceiverPhase.FAILED
-        return ReceiverAction(ActionKind.FAILED)
+        return EngineAction(ActionKind.FAILED)
 
-    def _complete(self, txs: list) -> ReceiverAction:
+    def _complete(self, txs: list) -> EngineAction:
         self.phase = ReceiverPhase.DONE
         block = Block(header=self.header, txs=tuple(txs)) \
             if self.header is not None else None
-        return ReceiverAction(ActionKind.DONE, txs=txs, block=block)
+        return EngineAction(ActionKind.DONE, txs=txs, block=block)
 
-    def on_p1_payload(self, message: bytes) -> ReceiverAction:
-        """Process header + S + I; decode or escalate to Protocol 2."""
+    def _probe(self) -> Optional[Block]:
+        """Validation target: a header-only block (block mode only)."""
+        if self.mode != "block":
+            return None
+        return Block(header=self.header, txs=())
+
+    def _request_short_ids(self, missing) -> EngineAction:
+        self.missing_short_ids = frozenset(missing)
+        self.phase = ReceiverPhase.WAIT_TXS
+        self.roundtrips += 1.0
+        width = self.config.short_id_bytes
+        out = b"".join(sid.to_bytes(width, "little")
+                       for sid in sorted(missing))
+        self.bytes_sent += len(out)
+        event = self._record(
+            "getdata_shortids", "sent", "fetch", int(self.roundtrips),
+            {"extra_getdata": short_id_request_bytes(len(missing), width)})
+        return EngineAction(ActionKind.SEND, "getdata_shortids", out,
+                            event=event)
+
+    def on_p1_payload(self, message: bytes) -> EngineAction:
+        """Process [header +] S + I; decode, fetch, or escalate."""
         if self.phase is not ReceiverPhase.WAIT_P1:
             raise ProtocolFailure(f"unexpected P1 payload in {self.phase}")
         self.bytes_received += len(message)
-        header_blob, offset = message[:80], 80
-        self.header = _parse_header(header_blob)
+        offset = 0
+        if self.mode == "block":
+            self.header = decode_block_header(message)
+            offset = 80
         payload, _ = decode_protocol1_payload(message, offset)
-        # Validation target: a header-only block; candidate sets are
-        # checked against its Merkle root.
-        probe = Block(header=self.header, txs=())
         result = receive_protocol1(payload, self.mempool, self.config,
-                                   validate_block=probe)
-        if result.success:
+                                   validate_block=self._probe())
+        parts = _p1_parts(payload)
+        self.p1_decode_failed = not result.decode_complete
+
+        if self.mode == "mempool" and result.decode_complete:
+            # Mempool sync never escalates a *complete* decode: missing
+            # short IDs are simply sender transactions to fetch.
+            self._record("graphene_block", "received", "p1", 1, parts,
+                         outcome="decoded")
+            self.p1_success = True
+            self.reconciled = {tx.txid: tx for tx in result.reconciled}
+            if result.missing_short_ids:
+                return self._request_short_ids(result.missing_short_ids)
             return self._complete(result.txs)
+
+        if result.success:
+            self._record("graphene_block", "received", "p1", 1, parts,
+                         outcome="decoded")
+            self.p1_success = True
+            self.reconciled = {tx.txid: tx for tx in result.reconciled}
+            return self._complete(result.txs)
+
+        self._record("graphene_block", "received", "p1", 1, parts,
+                     outcome="fallback")
+        self.protocol_used = 2
+        self.roundtrips = 2.5
         request, state = build_protocol2_request(
             result, payload, len(self.mempool), self.config)
         self._p2_state = state
@@ -186,65 +368,77 @@ class GrapheneReceiverEngine:
         out = (struct.pack("<I", len(self.mempool))
                + encode_protocol2_request(request))
         self.bytes_sent += len(out)
-        return ReceiverAction(ActionKind.SEND, "graphene_p2_request", out)
+        event = self._record("graphene_p2_request", "sent", "p2", 2,
+                             _p2_request_parts(request))
+        return EngineAction(ActionKind.SEND, "graphene_p2_request", out,
+                            event=event)
 
-    def on_p2_response(self, message: bytes) -> ReceiverAction:
+    def on_p2_response(self, message: bytes) -> EngineAction:
         """Process T + J (+ F); finish, fetch leftovers, or fail."""
         if self.phase is not ReceiverPhase.WAIT_P2:
             raise ProtocolFailure(f"unexpected P2 response in {self.phase}")
         self.bytes_received += len(message)
         response, _ = decode_protocol2_response(message)
-        probe = Block(header=self.header, txs=())
         result = finish_protocol2(response, self._p2_state, self.mempool,
-                                  self.config, validate_block=probe)
+                                  self.config, validate_block=self._probe())
+        self.p2_used_pingpong = result.used_pingpong
+        self.p2_decode_solo = result.decode_complete_solo
+        self.p2_decode_complete = result.decode_complete
+        parts = _p2_response_parts(response)
         if result.success:
+            self._record("graphene_p2_response", "received", "p2", 2,
+                         parts, outcome="decoded")
+            self.reconciled = dict(result.recovered)
             return self._complete(result.txs)
         if not result.decode_complete:
+            self._record("graphene_p2_response", "received", "p2", 2,
+                         parts, outcome="failed")
             return self._fail()
         if result.missing_short_ids:
-            self._recovered = dict(result.recovered)
-            self.phase = ReceiverPhase.WAIT_TXS
-            width = self.config.short_id_bytes
-            out = b"".join(sid.to_bytes(width, "little")
-                           for sid in sorted(result.missing_short_ids))
-            self.bytes_sent += len(out)
-            return ReceiverAction(ActionKind.SEND, "getdata_shortids", out)
+            self._record("graphene_p2_response", "received", "p2", 2,
+                         parts, outcome="fetch")
+            self.reconciled = dict(result.recovered)
+            return self._request_short_ids(result.missing_short_ids)
+        self._record("graphene_p2_response", "received", "p2", 2,
+                     parts, outcome="failed")
         return self._fail()
 
-    def on_tx_list(self, message: bytes) -> ReceiverAction:
-        """Process the final repair transactions and validate."""
+    def on_tx_list(self, message: bytes) -> EngineAction:
+        """Process the final repair transactions; validate in block mode."""
         if self.phase is not ReceiverPhase.WAIT_TXS:
             raise ProtocolFailure(f"unexpected tx list in {self.phase}")
         self.bytes_received += len(message)
         txs, _ = decode_tx_list(message)
-        candidate = dict(self._recovered)
+        self.fetched_count = len(txs)
+        parts = {"fetched_tx_bytes": sum(tx.size for tx in txs)}
+        roundtrip = int(self.roundtrips)
         for tx in txs:
-            candidate[tx.txid] = tx
-        probe = Block(header=self.header, txs=())
-        ordered = list(candidate.values())
+            self.reconciled[tx.txid] = tx
+        if self.mode == "mempool":
+            self._record("block_txs", "received", "fetch", roundtrip,
+                         parts, outcome="done")
+            return self._complete(sorted(self.reconciled.values(),
+                                         key=lambda tx: tx.txid))
+        probe = self._probe()
+        ordered = list(self.reconciled.values())
         if probe.validate_candidate(ordered):
+            self._record("block_txs", "received", "fetch", roundtrip,
+                         parts, outcome="done")
             return self._complete(probe.require_valid(ordered))
+        self._record("block_txs", "received", "fetch", roundtrip,
+                     parts, outcome="failed")
         return self._fail()
 
-    def handle(self, command: str, message: bytes) -> ReceiverAction:
-        """Dispatch on the wire command (what a node's inbox does)."""
-        handlers = {
-            "graphene_block": self.on_p1_payload,
-            "graphene_p2_response": self.on_p2_response,
-            "block_txs": self.on_tx_list,
-        }
-        if command not in handlers:
+    def handle(self, command: str, message: bytes) -> EngineAction:
+        """Dispatch on the wire command via :data:`RECEIVER_STEPS`."""
+        step = RECEIVER_STEPS.get(command)
+        if step is None:
             raise ParameterError(f"receiver cannot handle {command!r}")
-        return handlers[command](message)
+        return getattr(self, step)(message)
 
 
 def _parse_header(blob: bytes) -> BlockHeader:
+    """Back-compat alias for :func:`repro.codec.decode_block_header`."""
     if len(blob) != 80:
         raise ParameterError(f"header must be 80 bytes, got {len(blob)}")
-    version = int.from_bytes(blob[0:4], "little")
-    prev_hash = blob[4:36]
-    merkle_root = blob[36:68]
-    timestamp, bits, nonce = struct.unpack_from("<III", blob, 68)
-    return BlockHeader(version=version, prev_hash=prev_hash,
-                       merkle_root=merkle_root, timestamp=timestamp,
-                       bits=bits, nonce=nonce)
+    return decode_block_header(blob)

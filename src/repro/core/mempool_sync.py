@@ -16,6 +16,12 @@ I.  The receiver:
   third Bloom filter F (paper 3.3.2).
 
 At the end both sides exchange the transactions the other is missing.
+
+The exchange itself is the relay engines of :mod:`repro.core.engine`
+run in ``mode="mempool"`` over a loopback transport -- the same state
+machines block relay and the network simulator use -- with this driver
+only moving transactions and folding the telemetry stream into a
+:class:`CostBreakdown`.
 """
 
 from __future__ import annotations
@@ -24,19 +30,15 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.chain.mempool import Mempool
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
 from repro.core.params import GrapheneConfig
-from repro.core.protocol1 import build_protocol1, receive_protocol1
-from repro.core.protocol2 import (
-    build_protocol2_request,
-    finish_protocol2,
-    respond_protocol2,
-)
-from repro.core.sizing import (
-    CostBreakdown,
-    getdata_bytes,
-    inv_bytes,
-    short_id_request_bytes,
-)
+from repro.core.sizing import CostBreakdown
+from repro.core.telemetry import MessageEvent
+from repro.net.transport import LoopbackTransport
 
 
 @dataclass
@@ -52,6 +54,8 @@ class MempoolSyncResult:
     #: Transactions the sender obtained from the receiver (the set H).
     sender_gained: int = 0
     synchronized: bool = False
+    #: Per-message telemetry stream the cost breakdown was folded from.
+    events: list = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
@@ -69,73 +73,44 @@ def synchronize_mempools(sender: Mempool, receiver: Mempool,
     """
     config = config or GrapheneConfig()
     sender_txs = sender.transactions()
-    m = len(receiver)
-    cost = CostBreakdown(inv=inv_bytes(), getdata=getdata_bytes(m))
 
-    payload = build_protocol1(sender_txs, m, config)
-    cost.bloom_s = payload.bloom_bytes
-    cost.iblt_i = payload.iblt_bytes
-    cost.counts = payload.wire_size() - payload.bloom_bytes - payload.iblt_bytes
+    tx_engine = GrapheneSenderEngine(txs=sender_txs, config=config)
+    rx_engine = GrapheneReceiverEngine(receiver, config, mode="mempool")
+    final = LoopbackTransport(tx_engine, rx_engine).run()
 
-    p1 = receive_protocol1(payload, receiver, config, validate_block=None)
+    events = rx_engine.telemetry
+    cost = CostBreakdown.from_events(events)
+    result = MempoolSyncResult(
+        success=final.kind is ActionKind.DONE,
+        protocol_used=rx_engine.protocol_used,
+        roundtrips=rx_engine.roundtrips,
+        cost=cost, events=events)
+    if not result.success:
+        return result
 
+    if not transfer_missing:
+        # Fig. 18 accounting: reconciliation-structure bytes only.
+        cost.pushed_tx_bytes = 0
+        cost.fetched_tx_bytes = 0
+        return result
+
+    # The reconciled view holds everything recovered from the sender's
+    # side (fetched repairs included); anything new joins the receiver.
+    reconciled = rx_engine.reconciled
     sender_ids = {tx.txid for tx in sender_txs}
-    # H starts as the receiver transactions that failed S outright.
-    h_set = {tx.txid: tx for tx in receiver
-             if tx.txid not in p1.candidates}
+    result.receiver_gained = receiver.add_many(reconciled.values())
 
-    if p1.decode_complete:
-        result = MempoolSyncResult(success=True, protocol_used=1,
-                                   roundtrips=1.5, cost=cost)
-        # False passes through S (remote keys) also belong in H.
-        reconciled_ids = {tx.txid for tx in p1.reconciled}
-        for txid, tx in p1.candidates.items():
-            if txid not in reconciled_ids:
-                h_set[txid] = tx
-        missing_ids = p1.missing_short_ids
-    else:
-        request, state = build_protocol2_request(p1, payload, m, config)
-        cost.bloom_r = request.bloom_bytes
-        cost.counts += request.wire_size() - request.bloom_bytes
-        response = respond_protocol2(request, sender_txs, m, config)
-        cost.iblt_j = response.iblt_bytes
-        cost.bloom_f = response.bloom_f_bytes
-        if transfer_missing:
-            cost.pushed_tx_bytes = response.txs_bytes
-        p2 = finish_protocol2(response, state, receiver, config,
-                              validate_block=None)
-        result = MempoolSyncResult(success=p2.decode_complete,
-                                   protocol_used=2, roundtrips=2.5, cost=cost)
-        if not p2.decode_complete:
-            return result
-        recovered_ids = set(p2.recovered)
-        for tx in receiver:
-            if tx.txid not in recovered_ids and tx.txid not in sender_ids:
-                h_set[tx.txid] = tx
-        missing_ids = p2.missing_short_ids
-        if transfer_missing:
-            # The pushed set T (inside p2.recovered) is new to the receiver.
-            result.receiver_gained += receiver.add_many(p2.recovered.values())
-
-    # Receiver fetches sender transactions she lacks, by short ID.
-    if missing_ids:
-        cost.extra_getdata = short_id_request_bytes(
-            len(missing_ids), config.short_id_bytes)
-        result.roundtrips += 1.0
-    fetched = []
-    wanted = set(missing_ids)
-    if wanted:
-        width = config.short_id_bytes
-        fetched = [tx for tx in sender_txs if tx.short_id(width) in wanted]
-    if transfer_missing:
-        cost.fetched_tx_bytes += sum(tx.size for tx in fetched)
-        receiver.add_many(fetched)
-        # Receiver pushes H (transactions the sender lacks).
-        h_txs = [tx for tx in h_set.values() if tx.txid not in sender_ids]
-        cost.fetched_tx_bytes += sum(tx.size for tx in h_txs)
-        sender.add_many(h_txs)
-        result.sender_gained = len(h_txs)
-        result.receiver_gained += len(fetched)
-        result.synchronized = (
-            {tx.txid for tx in sender} == {tx.txid for tx in receiver})
+    # Receiver pushes H: her transactions the sender provably lacks --
+    # failed S outright, or recovered as remote keys (false passes).
+    h_txs = [tx for tx in receiver
+             if tx.txid not in reconciled and tx.txid not in sender_ids]
+    cost.fetched_tx_bytes += sum(tx.size for tx in h_txs)
+    events.append(MessageEvent(
+        command="sync_push", direction="sent", role="receiver",
+        phase="push", roundtrip=int(rx_engine.roundtrips),
+        parts={"fetched_tx_bytes": sum(tx.size for tx in h_txs)},
+        outcome="done"))
+    result.sender_gained = sender.add_many(h_txs)
+    result.synchronized = (
+        {tx.txid for tx in sender} == {tx.txid for tx in receiver})
     return result

@@ -190,8 +190,10 @@ def respond_protocol2(request: Protocol2Request, txs: Sequence[Transaction],
     if request.special_case:
         # Reverse roles (paper 3.3.2): the sender bounds R's false
         # positives among its own block, substituting block size for
-        # mempool size and f_R for the FPR.
-        fpr_r = request.bloom_r.target_fpr
+        # mempool size and f_R for the FPR.  f_R is the protocol's
+        # fixed special-case constant, known to both sides -- it is
+        # not on the wire, so a decoded request cannot carry it.
+        fpr_r = config.special_case_fpr
         z_s = len(in_r)
         xstar_s = x_star(z_s, n, fpr_r, beta=config.beta) if fpr_r < 1.0 else 0
         ystar_s = y_star(z_s, n, fpr_r, beta=config.beta, xstar=xstar_s) \

@@ -11,7 +11,12 @@ This is the orchestration a deployed client performs (paper Figs. 2-3):
    any still-missing transactions are fetched by short ID in a final
    getdata before Merkle validation.
 
-Every message's bytes are recorded in a :class:`CostBreakdown`.
+The flow itself lives in :mod:`repro.core.engine`; this session runs
+the sender/receiver engine pair over an in-memory
+:class:`~repro.net.transport.LoopbackTransport` and folds the engines'
+telemetry event stream into a :class:`CostBreakdown` -- the same stream
+the network simulator charges, so loopback and simulated relays agree
+on bytes by construction.
 """
 
 from __future__ import annotations
@@ -23,20 +28,15 @@ from typing import Optional
 from repro.chain.block import Block
 from repro.chain.mempool import Mempool
 from repro.chain.ordering import ordering_info_bytes
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
 from repro.core.params import GrapheneConfig
-from repro.core.protocol1 import build_protocol1, receive_protocol1
-from repro.core.protocol2 import (
-    build_protocol2_request,
-    finish_protocol2,
-    respond_protocol2,
-)
-from repro.core.sizing import (
-    CostBreakdown,
-    getdata_bytes,
-    inv_bytes,
-    short_id_request_bytes,
-)
+from repro.core.sizing import CostBreakdown
 from repro.errors import ProtocolFailure
+from repro.net.transport import LoopbackTransport
 
 logger = logging.getLogger(__name__)
 
@@ -53,6 +53,8 @@ class RelayOutcome:
     p1_decode_failed: bool = False
     p2_used_pingpong: bool = False
     fetched_count: int = 0
+    #: Per-message telemetry stream the cost breakdown was folded from.
+    events: list = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
@@ -86,83 +88,30 @@ class BlockRelaySession:
         cannot complete; otherwise a failed outcome is returned (a real
         client would fall back to a full-block request).
         """
-        config = self.config
-        m = len(receiver_mempool)
-        cost = CostBreakdown(inv=inv_bytes(), getdata=getdata_bytes(m))
+        sender = GrapheneSenderEngine(block, self.config)
+        receiver = GrapheneReceiverEngine(receiver_mempool, self.config)
+        final = LoopbackTransport(sender, receiver).run()
 
-        payload = build_protocol1(block.txs, m, config)
-        cost.bloom_s = payload.bloom_bytes
-        cost.iblt_i = payload.iblt_bytes
-        cost.counts = payload.wire_size() - payload.bloom_bytes - payload.iblt_bytes
+        cost = CostBreakdown.from_events(receiver.telemetry)
         if self.include_ordering_cost:
             cost.ordering = ordering_info_bytes(block.n)
 
-        p1 = receive_protocol1(payload, receiver_mempool, config,
-                               validate_block=block)
-        if not p1.success:
-            logger.debug(
-                "protocol 1 failed for block of %d txns (m=%d, "
-                "decode_complete=%s); escalating to protocol 2",
-                block.n, m, p1.decode_complete)
-        if p1.success:
-            return RelayOutcome(success=True, protocol_used=1,
-                                roundtrips=1.5, cost=cost, txs=p1.txs)
-
-        # --- Protocol 2 ---------------------------------------------------
-        request, state = build_protocol2_request(p1, payload, m, config)
-        cost.bloom_r = request.bloom_bytes
-        cost.counts += request.wire_size() - request.bloom_bytes
-
-        response = respond_protocol2(request, block.txs, m, config)
-        cost.iblt_j = response.iblt_bytes
-        cost.bloom_f = response.bloom_f_bytes
-        cost.pushed_tx_bytes = response.txs_bytes
-
-        p2 = finish_protocol2(response, state, receiver_mempool, config,
-                              validate_block=block)
-        outcome = RelayOutcome(success=False, protocol_used=2,
-                               roundtrips=2.5, cost=cost,
-                               p1_decode_failed=not p1.decode_complete,
-                               p2_used_pingpong=p2.used_pingpong)
-
-        if p2.missing_short_ids:
-            # Final repair: request the b-ish transactions that slipped
-            # through R by short ID and re-validate.
-            fetched = self._fetch_by_short_id(block, p2.missing_short_ids)
-            cost.extra_getdata = short_id_request_bytes(
-                len(p2.missing_short_ids), config.short_id_bytes)
-            cost.fetched_tx_bytes = sum(tx.size for tx in fetched)
-            outcome.roundtrips += 1.0
-            outcome.fetched_count = len(fetched)
-            candidate = dict(p2.recovered)
-            for tx in fetched:
-                candidate[tx.txid] = tx
-            txs = list(candidate.values())
-            if block.validate_candidate(txs):
-                outcome.success = True
-                outcome.txs = block.require_valid(txs)
-        elif p2.success:
-            outcome.success = True
-            outcome.txs = p2.txs
-
-        if not outcome.success:
+        success = final.kind is ActionKind.DONE
+        if not success:
             logger.warning("graphene relay failed: block of %d txns, m=%d",
-                           block.n, m)
-        if not outcome.success and strict:
-            raise ProtocolFailure(
-                f"Graphene failed for block of {block.n} txs "
-                f"(m={m}); a real client would request the full block")
-        return outcome
-
-    def _fetch_by_short_id(self, block: Block, short_ids) -> list:
-        wanted = set(short_ids)
-        width = self.config.short_id_bytes
-        out = []
-        for tx in block.txs:
-            sid = tx.short_id(width)
-            if sid in wanted:
-                out.append(tx)
-                wanted.discard(sid)
-                if not wanted:
-                    break
-        return out
+                           block.n, len(receiver_mempool))
+            if strict:
+                raise ProtocolFailure(
+                    f"Graphene failed for block of {block.n} txs "
+                    f"(m={len(receiver_mempool)}); a real client would "
+                    "request the full block")
+        return RelayOutcome(
+            success=success,
+            protocol_used=receiver.protocol_used,
+            roundtrips=receiver.roundtrips,
+            cost=cost,
+            txs=final.txs if success else None,
+            p1_decode_failed=receiver.p1_decode_failed,
+            p2_used_pingpong=receiver.p2_used_pingpong,
+            fetched_count=receiver.fetched_count,
+            events=list(receiver.telemetry))

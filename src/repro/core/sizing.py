@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.errors import ParameterError
 from repro.utils.serialization import compact_size_len
 
 #: One inventory entry: 4-byte type + 32-byte hash (Bitcoin `inv`).
@@ -84,3 +85,22 @@ class CostBreakdown:
     def as_dict(self) -> dict:
         return {spec.name: getattr(self, spec.name)
                 for spec in fields(CostBreakdown)}
+
+    @classmethod
+    def from_events(cls, events) -> "CostBreakdown":
+        """Fold a telemetry event stream into one cost breakdown.
+
+        Each :class:`~repro.core.telemetry.MessageEvent` carries its
+        byte decomposition keyed by the field names of this class, so
+        the engines' event stream *is* the cost accounting.
+        """
+        valid = {spec.name for spec in fields(cls)}
+        cost = cls()
+        for event in events:
+            for name, nbytes in event.parts.items():
+                if name not in valid:
+                    raise ParameterError(
+                        f"unknown cost part {name!r} in event "
+                        f"{event.command!r}")
+                setattr(cost, name, getattr(cost, name) + nbytes)
+        return cost

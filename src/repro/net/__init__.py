@@ -11,6 +11,7 @@ and topology builders (:mod:`~repro.net.topology`).
 
 from repro.net.messages import NetMessage
 from repro.net.simulator import Link, Simulator
+from repro.net.transport import LoopbackTransport, SimulatorTransport, Transport
 from repro.net.node import Node, RelayProtocol
 from repro.net.topology import connect_clique, connect_line, connect_random_regular
 
@@ -18,6 +19,9 @@ __all__ = [
     "NetMessage",
     "Link",
     "Simulator",
+    "Transport",
+    "LoopbackTransport",
+    "SimulatorTransport",
     "Node",
     "RelayProtocol",
     "connect_clique",

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.sizing import MSG_HEADER_BYTES
+from repro.core.telemetry import MessageEvent
 from repro.errors import ParameterError
 
 _SEQ = itertools.count()
@@ -39,6 +40,9 @@ class NetMessage:
     command: str
     payload: Any
     size: int
+    #: Telemetry record attached by an engine-driven sender; when
+    #: present it is the authoritative byte accounting for this message.
+    event: Optional[MessageEvent] = None
     msg_id: int = field(default_factory=lambda: next(_SEQ))
 
     def __post_init__(self):
@@ -49,5 +53,13 @@ class NetMessage:
 
     @property
     def total_size(self) -> int:
-        """Payload plus the fixed message envelope."""
+        """Bytes this message is charged on the wire.
+
+        Engine-driven messages carry a telemetry event whose parts are
+        the paper's analytic accounting (envelope included exactly
+        where the size model includes it); ad-hoc messages fall back to
+        payload size plus the fixed envelope.
+        """
+        if self.event is not None:
+            return self.event.wire_bytes
         return self.size + MSG_HEADER_BYTES

@@ -2,20 +2,22 @@
 
 A :class:`Node` owns a mempool, gossips transactions with inv/getdata
 like Bitcoin's p2p layer (section 2.2), and relays blocks with a
-pluggable :class:`RelayProtocol`.  Block relay reuses the standalone
-protocol implementations -- a Graphene relay on the wire is literally a
-:class:`~repro.core.protocol1.Protocol1Payload` plus its size -- so the
-simulator measures the same bytes the benchmarks do, but adds latency,
+pluggable :class:`RelayProtocol`.  Graphene relay is the canonical
+engines of :mod:`repro.core.engine` driven over a
+:class:`~repro.net.transport.SimulatorTransport`: wire commands route
+to engine steps through the engines' own command tables, and every
+engine message carries its telemetry event, so the simulator charges
+exactly the bytes the standalone benchmarks account -- plus latency,
 bandwidth and multi-hop propagation on top.
 """
 
 from __future__ import annotations
 
 import enum
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import Optional
-
-import struct
 
 from repro.baselines.compact_blocks import compact_blocks_bytes, index_width
 from repro.baselines.xthin import XTHIN_MEMPOOL_FPR, xthin_star_bytes
@@ -27,6 +29,8 @@ from repro.core.engine import (
     ActionKind,
     GrapheneReceiverEngine,
     GrapheneSenderEngine,
+    RECEIVER_STEPS,
+    SENDER_STEPS,
 )
 from repro.core.params import GrapheneConfig
 from repro.core.sizing import (
@@ -38,8 +42,24 @@ from repro.errors import ParameterError
 from repro.net.messages import NetMessage
 from repro.net.simulator import Link, Simulator
 from repro.net.sync import MempoolSyncMixin
+from repro.net.transport import SimulatorTransport
 from repro.pds.bloom import BloomFilter
 from repro.utils.serialization import compact_size_len
+
+#: Graphene wire commands dispatched straight to an engine (the plain
+#: ``getdata`` stays multiplexed with tx gossip and baseline relay).
+_ENGINE_COMMANDS = (frozenset(RECEIVER_STEPS)
+                    | frozenset(SENDER_STEPS)) - {"getdata"}
+
+
+def derive_loss_seed(src_id: str, dst_id: str) -> int:
+    """Default loss seed for the ``src -> dst`` direction of a peering.
+
+    Derived from the endpoint pair so distinct lossy links drop
+    *different* message indices (a shared constant seed would correlate
+    loss across the whole topology), yet runs stay reproducible.
+    """
+    return zlib.crc32(f"{src_id}->{dst_id}".encode())
 
 
 class RelayProtocol(enum.Enum):
@@ -53,10 +73,19 @@ class RelayProtocol(enum.Enum):
 
 @dataclass
 class PeerStats:
-    """Byte counters for one direction of one peering."""
+    """Byte counters for one direction of one peering.
+
+    ``bytes_sent`` accumulates each message's telemetry wire bytes
+    (engine messages) or its declared size plus envelope (everything
+    else) -- the same accounting the links charge for transmission.
+    """
 
     bytes_sent: int = 0
     messages_sent: int = 0
+
+    def record(self, message: NetMessage) -> None:
+        self.bytes_sent += message.total_size
+        self.messages_sent += 1
 
 
 class Node(MempoolSyncMixin):
@@ -91,6 +120,10 @@ class Node(MempoolSyncMixin):
         # Graphene wire engines, keyed by block Merkle root.
         self._rx_engines: dict = {}
         self._tx_engines: dict = {}
+        #: Telemetry streams per received block relay (merkle root ->
+        #: list of MessageEvent); kept after the engine completes so
+        #: experiments can fold them into cost breakdowns.
+        self.relay_telemetry: dict = {}
         # Compact Blocks repair state: root -> (header, matched txs).
         self._cb_pending: dict = {}
         # Mempool sync sessions (see repro.net.sync).
@@ -104,13 +137,22 @@ class Node(MempoolSyncMixin):
 
     def connect(self, other: "Node", link: Optional[Link] = None,
                 reverse_link: Optional[Link] = None) -> None:
-        """Create a bidirectional peering."""
+        """Create a bidirectional peering.
+
+        Links without an explicit ``loss_seed`` get one derived from
+        the (src, dst) endpoint pair, so loss is independent across
+        links and directions but reproducible across runs.
+        """
         if other is self:
             raise ParameterError("a node cannot peer with itself")
         self.peers[other] = link or Link()
         other.peers[self] = reverse_link or Link(
             latency=self.peers[other].latency,
             bandwidth=self.peers[other].bandwidth)
+        self.peers[other].ensure_loss_seed(
+            derive_loss_seed(self.node_id, other.node_id))
+        other.peers[self].ensure_loss_seed(
+            derive_loss_seed(other.node_id, self.node_id))
         self.stats.setdefault(other, PeerStats())
         other.stats.setdefault(self, PeerStats())
 
@@ -119,9 +161,7 @@ class Node(MempoolSyncMixin):
         if link is None:
             raise ParameterError(
                 f"{self.node_id} is not peered with {peer.node_id}")
-        stats = self.stats[peer]
-        stats.bytes_sent += message.total_size
-        stats.messages_sent += 1
+        self.stats[peer].record(message)
         if link.drops():
             return  # lost in transit; bytes were still spent sending
         deliver_at = link.transmit_schedule(self.simulator.now,
@@ -188,6 +228,9 @@ class Node(MempoolSyncMixin):
     # ------------------------------------------------------------------
 
     def receive(self, sender: "Node", message: NetMessage) -> None:
+        if message.command in _ENGINE_COMMANDS:
+            self._on_graphene_wire(sender, message.command, message.payload)
+            return
         handler = getattr(self, f"_on_{message.command}", None)
         if handler is None:
             raise ParameterError(f"no handler for {message.command!r}")
@@ -203,8 +246,13 @@ class Node(MempoolSyncMixin):
                     # (the engine's own start message, paper Fig. 2).
                     engine = GrapheneReceiverEngine(self.mempool,
                                                     self.config)
-                    engine.start()
+                    action = engine.start()
                     self._rx_engines[root] = engine
+                    self.relay_telemetry[root] = engine.telemetry
+                    self._send(sender, NetMessage(
+                        "getdata", ("block", root, action.message),
+                        len(action.message), event=action.event))
+                    return
                 if self.protocol is RelayProtocol.XTHIN:
                     # XThin's getdata carries a Bloom filter of the whole
                     # mempool (paper 2.2).
@@ -258,8 +306,7 @@ class Node(MempoolSyncMixin):
             block = self.blocks.get(payload[1])
             if block is None:
                 return
-            receiver_m = payload[2]
-            self._relay_block(sender, block, receiver_m)
+            self._relay_block(sender, block, payload[2])
             return
         if kind == "fullblock":
             # Fallback after a failed reconciliation: ship everything.
@@ -284,13 +331,13 @@ class Node(MempoolSyncMixin):
     # ------------------------------------------------------------------
 
     def _relay_block(self, peer: "Node", block: Block,
-                     receiver_m: int) -> None:
+                     receiver_m) -> None:
         """Serve a block with the configured relay protocol.
 
         Graphene runs its real message exchange (the core engines over
         actual encoded bytes); the baselines compute their outcome with
-        the same engines the benchmarks use and ship one message of the
-        corresponding size.  Either way the simulator adds transport
+        the same structures the benchmarks use and ship one message of
+        the corresponding size.  Either way the simulator adds transport
         costs on top.
         """
         proto = self.protocol
@@ -300,9 +347,12 @@ class Node(MempoolSyncMixin):
             if engine is None:
                 engine = GrapheneSenderEngine(block, self.config)
                 self._tx_engines[root] = engine
-            blob = engine.on_getdata(struct.pack("<I", receiver_m))
-            self._send(peer, NetMessage("graphene_block", (root, blob),
-                                        len(blob)))
+            # A graphene receiver's getdata carries the engine's start
+            # message; accept a bare count from non-graphene peers.
+            blob = receiver_m if isinstance(receiver_m, bytes) \
+                else struct.pack("<I", receiver_m)
+            action = engine.handle("getdata", blob)
+            SimulatorTransport(self, peer, root).deliver(action)
             return
         if proto is RelayProtocol.COMPACT_BLOCKS:
             # BIP-152 cmpctblock: short IDs plus prefilled coinbase.
@@ -322,8 +372,30 @@ class Node(MempoolSyncMixin):
         self._accept_block(block, origin=sender)
 
     # ------------------------------------------------------------------
-    # Graphene wire handlers (engine-driven, real encoded messages)
+    # Graphene wire dispatch (engine-driven, real encoded messages)
     # ------------------------------------------------------------------
+
+    def _on_graphene_wire(self, sender: "Node", command: str,
+                          payload) -> None:
+        """Route a Graphene wire command to the matching engine.
+
+        The command tables in :mod:`repro.core.engine` decide whether
+        the message belongs to a receiver or sender engine; the node
+        adds no protocol logic of its own.
+        """
+        root, blob = payload
+        if command in RECEIVER_STEPS:
+            engine = self._rx_engines.get(root)
+            if engine is None:
+                return  # already assembled via another peer
+            self._dispatch_receiver_action(sender, root,
+                                           engine.handle(command, blob))
+            return
+        engine = self._tx_engines.get(root)
+        if engine is None:
+            return
+        SimulatorTransport(self, sender, root).deliver(
+            engine.handle(command, blob))
 
     def _dispatch_receiver_action(self, sender: "Node", root: bytes,
                                   action) -> None:
@@ -341,51 +413,7 @@ class Node(MempoolSyncMixin):
             self._send(sender, NetMessage(
                 "getdata", ("fullblock", root, 0), getdata_bytes(0)))
             return
-        self._send(sender, NetMessage(action.command,
-                                      (root, action.message),
-                                      len(action.message)))
-
-    def _on_graphene_block(self, sender: "Node", payload) -> None:
-        root, blob = payload
-        engine = self._rx_engines.get(root)
-        if engine is None:
-            return  # already assembled via another peer
-        self._dispatch_receiver_action(sender, root,
-                                       engine.on_p1_payload(blob))
-
-    def _on_graphene_p2_request(self, sender: "Node", payload) -> None:
-        root, blob = payload
-        engine = self._tx_engines.get(root)
-        if engine is None:
-            return
-        reply = engine.on_p2_request(blob)
-        self._send(sender, NetMessage("graphene_p2_response",
-                                      (root, reply), len(reply)))
-
-    def _on_graphene_p2_response(self, sender: "Node", payload) -> None:
-        root, blob = payload
-        engine = self._rx_engines.get(root)
-        if engine is None:
-            return
-        self._dispatch_receiver_action(sender, root,
-                                       engine.on_p2_response(blob))
-
-    def _on_getdata_shortids(self, sender: "Node", payload) -> None:
-        root, blob = payload
-        engine = self._tx_engines.get(root)
-        if engine is None:
-            return
-        reply = engine.on_shortid_request(blob)
-        self._send(sender, NetMessage("block_txs", (root, reply),
-                                      len(reply)))
-
-    def _on_block_txs(self, sender: "Node", payload) -> None:
-        root, blob = payload
-        engine = self._rx_engines.get(root)
-        if engine is None:
-            return
-        self._dispatch_receiver_action(sender, root,
-                                       engine.on_tx_list(blob))
+        SimulatorTransport(self, sender, root).deliver(action)
 
     # ------------------------------------------------------------------
     # Compact Blocks wire handlers (BIP-152 message flow)

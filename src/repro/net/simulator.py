@@ -30,7 +30,10 @@ class Link:
     latency: float = 0.05
     bandwidth: float = 1_000_000.0
     loss_rate: float = 0.0
-    loss_seed: int = 0
+    #: None means "seed me later" -- Node.connect derives a seed from
+    #: the (src, dst) endpoint pair so loss is uncorrelated across links
+    #: yet reproducible.  An explicit int pins the stream.
+    loss_seed: Optional[int] = None
     #: Time at which the sender side of this link frees up (FIFO model).
     _busy_until: float = field(default=0.0, repr=False)
     _loss_rng: Optional[random.Random] = field(default=None, repr=False)
@@ -44,13 +47,23 @@ class Link:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ParameterError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate}")
-        if self.loss_rate:
+        if self.loss_rate and self.loss_seed is not None:
             self._loss_rng = random.Random(self.loss_seed)
+
+    def ensure_loss_seed(self, seed: int) -> None:
+        """Adopt ``seed`` unless an explicit seed was already chosen."""
+        if self.loss_seed is None and self._loss_rng is None:
+            self.loss_seed = seed
+            if self.loss_rate:
+                self._loss_rng = random.Random(seed)
 
     def drops(self) -> bool:
         """Decide whether the next message is lost in transit."""
         if not self.loss_rate:
             return False
+        if self._loss_rng is None:  # standalone link never given a seed
+            self.loss_seed = 0 if self.loss_seed is None else self.loss_seed
+            self._loss_rng = random.Random(self.loss_seed)
         return self._loss_rng.random() < self.loss_rate
 
     def transmit_schedule(self, now: float, nbytes: int) -> float:

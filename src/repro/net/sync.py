@@ -13,40 +13,55 @@ This module runs the 3.2.1 exchange *over the simulator's links*:
       sync_txs(missing txs)    <----
       sync_push(H txs)         ---->    (transactions responder lacked)
 
+The protocol itself is the relay engines of :mod:`repro.core.engine`
+run in ``mode="mempool"`` -- the exact state machines block relay and
+:func:`~repro.core.mempool_sync.synchronize_mempools` use -- with this
+mixin only translating engine commands to the sync wire vocabulary
+(via :class:`~repro.net.transport.SimulatorTransport`) and moving the
+H set at the end.
+
 Each in-flight sync is tracked by a nonce so concurrent syncs with
-different peers cannot interfere.
+different peers cannot interfere.  Nonces are per-node deterministic
+counters seeded from the node id: runs reproduce exactly, and two
+nodes initiating toward the same responder never collide.
 """
 
 from __future__ import annotations
 
 import itertools
 import logging
-from dataclasses import dataclass, field
+import struct
+import zlib
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.protocol1 import (
-    Protocol1Payload,
-    build_protocol1,
-    receive_protocol1,
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
 )
-from repro.core.protocol2 import (
-    build_protocol2_request,
-    finish_protocol2,
-    respond_protocol2,
-)
-from repro.core.sizing import getdata_bytes, short_id_request_bytes
+from repro.core.telemetry import MessageEvent
 from repro.errors import ParameterError
+from repro.net.messages import NetMessage
+from repro.net.transport import SimulatorTransport
 
 logger = logging.getLogger(__name__)
 
-_NONCES = itertools.count(1)
+#: Engine step command -> sync wire command (and back).  The engines
+#: speak the relay vocabulary; the wire tags sync traffic distinctly so
+#: a node can serve block relay and mempool sync concurrently.
+_WIRE_BY_STEP = {
+    "getdata": "mempool_sync_request",
+    "graphene_block": "mempool_sync_p1",
+    "graphene_p2_request": "mempool_sync_p2_req",
+    "graphene_p2_response": "mempool_sync_p2_resp",
+    "getdata_shortids": "sync_fetch",
+    "block_txs": "sync_txs",
+}
+_STEP_BY_WIRE = {wire: step for step, wire in _WIRE_BY_STEP.items()}
 
 #: Wire commands this module adds to the node vocabulary.
-SYNC_COMMANDS = frozenset({
-    "mempool_sync_request", "mempool_sync_p1",
-    "mempool_sync_p2_req", "mempool_sync_p2_resp",
-    "sync_fetch", "sync_txs", "sync_push",
-})
+SYNC_COMMANDS = frozenset(_WIRE_BY_STEP.values()) | {"sync_push"}
 
 
 @dataclass
@@ -55,11 +70,19 @@ class SyncState:
 
     nonce: int
     peer_id: str
-    payload: Optional[Protocol1Payload] = None
-    p2_state: object = None
-    reconciled: dict = field(default_factory=dict)
+    engine: GrapheneReceiverEngine
     done: bool = False
     succeeded: bool = False
+
+    @property
+    def reconciled(self) -> dict:
+        """txid -> Transaction view of the responder's mempool."""
+        return self.engine.reconciled
+
+    @property
+    def events(self) -> list:
+        """Telemetry stream of the exchange (initiator perspective)."""
+        return self.engine.telemetry
 
 
 class MempoolSyncMixin:
@@ -69,18 +92,28 @@ class MempoolSyncMixin:
     ``_on_mempool_sync_*`` handlers by name like any other command.
     """
 
+    def _next_sync_nonce(self) -> int:
+        counter = self.__dict__.get("_sync_nonces")
+        if counter is None:
+            # Seeded from the node id: deterministic per node, distinct
+            # across nodes (the old module-global counter made nonces
+            # depend on construction order across the whole process).
+            counter = itertools.count(
+                zlib.crc32(self.node_id.encode()) * 100_000 + 1)
+            self.__dict__["_sync_nonces"] = counter
+        return next(counter)
+
     def initiate_mempool_sync(self, peer) -> int:
         """Start a sync with ``peer``; returns the session nonce."""
-        from repro.net.messages import NetMessage
         if peer not in self.peers:
             raise ParameterError(
                 f"{self.node_id} is not peered with {peer.node_id}")
-        nonce = next(_NONCES)
-        self._sync_sessions[nonce] = SyncState(nonce=nonce,
-                                               peer_id=peer.node_id)
-        self._send(peer, NetMessage(
-            "mempool_sync_request", (nonce, len(self.mempool)),
-            getdata_bytes(len(self.mempool))))
+        nonce = self._next_sync_nonce()
+        engine = GrapheneReceiverEngine(self.mempool, self.config,
+                                        mode="mempool")
+        state = SyncState(nonce=nonce, peer_id=peer.node_id, engine=engine)
+        self._sync_sessions[nonce] = state
+        self._dispatch_sync_action(peer, state, engine.start())
         return nonce
 
     def sync_result(self, nonce: int) -> Optional[SyncState]:
@@ -89,111 +122,89 @@ class MempoolSyncMixin:
     # -- responder side -------------------------------------------------
 
     def _on_mempool_sync_request(self, sender, payload) -> None:
-        from repro.net.messages import NetMessage
-        nonce, m = payload
-        txs = self.mempool.transactions()
-        p1 = build_protocol1(txs, m, self.config,
-                             auto_prefill_coinbase=False)
-        self._sync_serving[nonce] = txs
-        self._send(sender, NetMessage(
-            "mempool_sync_p1", (nonce, p1), p1.wire_size()))
+        self._sync_serve(sender, "getdata", payload)
 
     def _on_mempool_sync_p2_req(self, sender, payload) -> None:
-        from repro.net.messages import NetMessage
-        nonce, request, m = payload
-        txs = self._sync_serving.get(nonce)
-        if txs is None:
-            return
-        response = respond_protocol2(request, txs, m, self.config)
-        self._send(sender, NetMessage(
-            "mempool_sync_p2_resp", (nonce, response),
-            response.wire_size()))
+        self._sync_serve(sender, "graphene_p2_request", payload)
 
     def _on_sync_fetch(self, sender, payload) -> None:
-        from repro.net.messages import NetMessage
-        nonce, short_ids = payload
-        txs = self._sync_serving.get(nonce, [])
-        wanted = set(short_ids)
-        found = [tx for tx in txs
-                 if tx.short_id(self.config.short_id_bytes) in wanted]
-        self._send(sender, NetMessage(
-            "sync_txs", (nonce, tuple(found)),
-            sum(tx.size for tx in found)))
+        self._sync_serve(sender, "getdata_shortids", payload)
+
+    def _sync_serve(self, sender, step: str, payload) -> None:
+        """Feed one initiator message to the serving sender engine."""
+        nonce, blob = payload
+        key = (sender.node_id, nonce)
+        engine = self._sync_serving.get(key)
+        if engine is None:
+            if step != "getdata":
+                return  # late message for a finished or unknown sync
+            engine = GrapheneSenderEngine(
+                txs=self.mempool.transactions(), config=self.config)
+            self._sync_serving[key] = engine
+        SimulatorTransport(self, sender, nonce,
+                           command_map=_WIRE_BY_STEP).deliver(
+            engine.handle(step, blob))
 
     def _on_sync_push(self, sender, payload) -> None:
         nonce, txs = payload
         self.mempool.add_many(txs)
-        self._sync_serving.pop(nonce, None)
+        self._sync_serving.pop((sender.node_id, nonce), None)
 
-    # -- initiator side ---------------------------------------------------
+    # -- initiator side -------------------------------------------------
 
     def _on_mempool_sync_p1(self, sender, payload) -> None:
-        from repro.net.messages import NetMessage
-        nonce, p1_payload = payload
-        state = self._sync_sessions.get(nonce)
-        if state is None:
-            return
-        state.payload = p1_payload
-        result = receive_protocol1(p1_payload, self.mempool, self.config,
-                                   validate_block=None)
-        if result.decode_complete:
-            state.reconciled = {tx.txid: tx for tx in result.reconciled}
-            self._finish_sync(sender, state, result.missing_short_ids)
-            return
-        request, p2_state = build_protocol2_request(
-            result, p1_payload, len(self.mempool), self.config)
-        state.p2_state = p2_state
-        self._send(sender, NetMessage(
-            "mempool_sync_p2_req",
-            (nonce, request, len(self.mempool)), request.wire_size()))
+        self._sync_advance(sender, "graphene_block", payload)
 
     def _on_mempool_sync_p2_resp(self, sender, payload) -> None:
-        nonce, response = payload
-        state = self._sync_sessions.get(nonce)
-        if state is None or state.p2_state is None:
-            return
-        result = finish_protocol2(response, state.p2_state, self.mempool,
-                                  self.config, validate_block=None)
-        if not result.decode_complete:
-            logger.info("mempool sync %d with %s failed to decode",
-                        nonce, state.peer_id)
-            state.done = True
-            return
-        state.reconciled = dict(result.recovered)
-        self._finish_sync(sender, state, result.missing_short_ids)
+        self._sync_advance(sender, "graphene_p2_response", payload)
 
     def _on_sync_txs(self, sender, payload) -> None:
-        nonce, txs = payload
+        self._sync_advance(sender, "block_txs", payload)
+
+    def _sync_advance(self, sender, step: str, payload) -> None:
+        nonce, blob = payload
         state = self._sync_sessions.get(nonce)
-        if state is None:
+        if state is None or state.done:
             return
-        self.mempool.add_many(txs)
-        for tx in txs:
-            state.reconciled[tx.txid] = tx
-        self._push_h_set(sender, state)
+        self._dispatch_sync_action(sender, state,
+                                   state.engine.handle(step, blob))
 
-    def _finish_sync(self, sender, state: SyncState, missing) -> None:
-        from repro.net.messages import NetMessage
-        # Adopt everything reconciled that we did not already hold.
-        self.mempool.add_many(state.reconciled.values())
-        if missing:
-            self._send(sender, NetMessage(
-                "sync_fetch", (state.nonce, frozenset(missing)),
-                short_id_request_bytes(len(missing),
-                                       self.config.short_id_bytes)))
+    def _dispatch_sync_action(self, peer, state: SyncState,
+                              action) -> None:
+        if action.kind is ActionKind.SEND:
+            SimulatorTransport(self, peer, state.nonce,
+                               command_map=_WIRE_BY_STEP).deliver(action)
             return
-        self._push_h_set(sender, state)
+        if action.kind is ActionKind.DONE:
+            self._finish_sync(peer, state)
+            return
+        logger.info("mempool sync %d with %s failed to decode",
+                    state.nonce, state.peer_id)
+        state.done = True
 
-    def _push_h_set(self, sender, state: SyncState) -> None:
-        from repro.net.messages import NetMessage
+    def _finish_sync(self, peer, state: SyncState) -> None:
+        engine = state.engine
+        reconciled = engine.reconciled
+        self.mempool.add_many(reconciled.values())
         # H: our transactions the responder provably lacks -- everything
         # of ours absent from the reconciled view of their mempool.
         h_txs = tuple(tx for tx in self.mempool
-                      if tx.txid not in state.reconciled)
-        self._send(sender, NetMessage(
-            "sync_push", (state.nonce, h_txs),
-            sum(tx.size for tx in h_txs)))
+                      if tx.txid not in reconciled)
+        nbytes = sum(tx.size for tx in h_txs)
+        event = MessageEvent(
+            command="sync_push", direction="sent", role="receiver",
+            phase="push", roundtrip=int(engine.roundtrips),
+            parts={"fetched_tx_bytes": nbytes}, outcome="done")
+        engine.telemetry.append(event)
+        self._send(peer, NetMessage("sync_push", (state.nonce, h_txs),
+                                    nbytes, event=event))
         state.done = True
         state.succeeded = True
         logger.debug("mempool sync %d with %s complete: pushed %d txns",
                      state.nonce, state.peer_id, len(h_txs))
+
+
+# The engines' mempool-mode start message is 4 bytes of m; keep a
+# helper for tests that drive sync wire payloads directly.
+def encode_sync_request(m: int) -> bytes:
+    return struct.pack("<I", m)

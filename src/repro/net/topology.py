@@ -15,30 +15,36 @@ from repro.net.node import Node
 from repro.net.simulator import Link
 
 
-def _link(latency: float, bandwidth: float) -> Link:
-    return Link(latency=latency, bandwidth=bandwidth)
+def _link(latency: float, bandwidth: float,
+          loss_rate: float = 0.0) -> Link:
+    # loss_seed stays None: Node.connect derives one per (src, dst)
+    # pair, so lossy links drop independent message streams.
+    return Link(latency=latency, bandwidth=bandwidth, loss_rate=loss_rate)
 
 
 def connect_clique(nodes: Sequence[Node], latency: float = 0.05,
-                   bandwidth: float = 1_000_000.0) -> None:
+                   bandwidth: float = 1_000_000.0,
+                   loss_rate: float = 0.0) -> None:
     """Fully connect ``nodes`` (the miner core)."""
     for i, a in enumerate(nodes):
         for b in nodes[i + 1:]:
-            a.connect(b, _link(latency, bandwidth))
+            a.connect(b, _link(latency, bandwidth, loss_rate))
 
 
 def connect_line(nodes: Sequence[Node], latency: float = 0.05,
-                 bandwidth: float = 1_000_000.0) -> None:
+                 bandwidth: float = 1_000_000.0,
+                 loss_rate: float = 0.0) -> None:
     """Chain ``nodes`` in a line (worst-case propagation diameter)."""
     for a, b in zip(nodes, nodes[1:]):
-        a.connect(b, _link(latency, bandwidth))
+        a.connect(b, _link(latency, bandwidth, loss_rate))
 
 
 def connect_random_regular(nodes: Sequence[Node], degree: int = 8,
                            latency: float = 0.05,
                            bandwidth: float = 1_000_000.0,
                            rng: Optional[random.Random] = None,
-                           max_retries: int = 100) -> None:
+                           max_retries: int = 100,
+                           loss_rate: float = 0.0) -> None:
     """Wire an (approximately) ``degree``-regular random graph.
 
     Uses the pairing model: each node gets ``degree`` stubs, stubs are
@@ -48,7 +54,7 @@ def connect_random_regular(nodes: Sequence[Node], degree: int = 8,
     if degree < 1:
         raise ParameterError(f"degree must be >= 1, got {degree}")
     if len(nodes) <= degree:
-        connect_clique(nodes, latency, bandwidth)
+        connect_clique(nodes, latency, bandwidth, loss_rate)
         return
     rng = rng or random.Random(0)
     if len(nodes) * degree % 2:
@@ -63,7 +69,7 @@ def connect_random_regular(nodes: Sequence[Node], degree: int = 8,
             # come out disconnected; a p2p overlay must not.
             if nx.is_connected(graph):
                 for a, b in graph.edges:
-                    nodes[a].connect(nodes[b], _link(latency, bandwidth))
+                    nodes[a].connect(nodes[b], _link(latency, bandwidth, loss_rate))
                 return
         raise ParameterError(
             f"no connected {degree}-regular graph on {len(nodes)} nodes "
@@ -84,7 +90,7 @@ def connect_random_regular(nodes: Sequence[Node], degree: int = 8,
         if ok:
             by_id = {id(node): node for node in nodes}
             for ida, idb in edges:
-                by_id[ida].connect(by_id[idb], _link(latency, bandwidth))
+                by_id[ida].connect(by_id[idb], _link(latency, bandwidth, loss_rate))
             return
     raise ParameterError(
         f"failed to build a {degree}-regular graph in {max_retries} tries")

@@ -1,0 +1,89 @@
+"""Transports that carry engine actions between relay endpoints.
+
+The Graphene control flow lives entirely in :mod:`repro.core.engine`;
+a :class:`Transport` only decides *how* a SEND action reaches the other
+side.  Two implementations cover every caller in the package:
+
+* :class:`LoopbackTransport` -- both engines in one process, delivery
+  is a synchronous function call.  This is what
+  :class:`~repro.core.session.BlockRelaySession` and
+  :func:`~repro.core.mempool_sync.synchronize_mempools` run for the
+  Monte-Carlo benchmarks.
+* :class:`SimulatorTransport` -- one engine endpoint on a simulated
+  :class:`~repro.net.node.Node`; actions become
+  :class:`~repro.net.messages.NetMessage` objects crossing a
+  latency/bandwidth/loss :class:`~repro.net.simulator.Link`.
+
+Both charge bytes from the action's attached telemetry event, so a
+loopback relay and a simulated relay of the same block account the
+same wire bytes by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.engine import ActionKind, EngineAction, SENDER_STEPS
+from repro.errors import ParameterError
+from repro.net.messages import NetMessage
+
+
+class Transport(abc.ABC):
+    """Moves one engine SEND action toward the remote endpoint."""
+
+    @abc.abstractmethod
+    def deliver(self, action: EngineAction) -> None:
+        """Carry ``action`` (kind SEND) to the other side."""
+
+
+class LoopbackTransport(Transport):
+    """Drives a sender/receiver engine pair to completion in memory."""
+
+    def __init__(self, sender, receiver):
+        self.sender = sender
+        self.receiver = receiver
+        #: Terminal action (DONE or FAILED) once the exchange finishes.
+        self.final: Optional[EngineAction] = None
+
+    def deliver(self, action: EngineAction) -> None:
+        while action.kind is ActionKind.SEND:
+            engine = (self.sender if action.command in SENDER_STEPS
+                      else self.receiver)
+            action = engine.handle(action.command, action.message)
+        self.final = action
+
+    def run(self) -> EngineAction:
+        """Run the whole exchange; returns the terminal action."""
+        self.deliver(self.receiver.start())
+        return self.final
+
+
+class SimulatorTransport(Transport):
+    """Ships engine actions from ``node`` to ``peer`` over their link.
+
+    ``key`` tags the exchange on the wire (the block's Merkle root for
+    relay, the session nonce for mempool sync) so the remote node can
+    find the matching engine.  ``command_map`` optionally renames
+    engine commands to wire commands (mempool sync reuses the engines
+    under its own command vocabulary).
+
+    The :class:`NetMessage` carries the action's telemetry event, so
+    the link and per-peer stats charge the event's analytic wire bytes
+    rather than the encoded blob length.
+    """
+
+    def __init__(self, node, peer, key, command_map: Optional[dict] = None):
+        self.node = node
+        self.peer = peer
+        self.key = key
+        self.command_map = command_map or {}
+
+    def deliver(self, action: EngineAction) -> None:
+        if action.kind is not ActionKind.SEND:
+            raise ParameterError(
+                f"only SEND actions cross the wire, got {action.kind}")
+        command = self.command_map.get(action.command, action.command)
+        self.node._send(self.peer, NetMessage(
+            command, (self.key, action.message), len(action.message),
+            event=action.event))

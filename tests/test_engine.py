@@ -20,15 +20,15 @@ def _run_exchange(scenario, config=None):
     receiver = GrapheneReceiverEngine(scenario.receiver_mempool)
     action = receiver.start()
     assert action.command == "getdata"
-    reply = sender.on_getdata(action.message)
+    reply = sender.on_getdata(action.message).message
     action = receiver.on_p1_payload(reply)
     if action.kind is ActionKind.SEND:
         assert action.command == "graphene_p2_request"
-        reply = sender.on_p2_request(action.message)
+        reply = sender.on_p2_request(action.message).message
         action = receiver.on_p2_response(reply)
     if action.kind is ActionKind.SEND:
         assert action.command == "getdata_shortids"
-        reply = sender.on_shortid_request(action.message)
+        reply = sender.on_shortid_request(action.message).message
         action = receiver.on_tx_list(reply)
     return action, receiver
 
@@ -81,7 +81,7 @@ class TestSenderEngine:
                                      seed=86)  # same block content
             receiver = GrapheneReceiverEngine(sc.receiver_mempool)
             action = receiver.start()
-            reply = sender.on_getdata(action.message)
+            reply = sender.on_getdata(action.message).message
             action = receiver.on_p1_payload(reply)
             assert action.kind is ActionKind.DONE
 
@@ -96,7 +96,7 @@ class TestSenderEngine:
         tx = sc.block.txs[3]
         message = tx.short_id().to_bytes(8, "little")
         from repro.net.wire import decode_tx_list
-        txs, _ = decode_tx_list(sender.on_shortid_request(message))
+        txs, _ = decode_tx_list(sender.on_shortid_request(message).message)
         assert len(txs) == 1 and txs[0].txid == tx.txid
 
 
@@ -121,7 +121,7 @@ class TestPhaseDiscipline:
         sender = GrapheneSenderEngine(sc.block)
         receiver = GrapheneReceiverEngine(sc.receiver_mempool)
         action = receiver.start()
-        reply = sender.on_getdata(action.message)
+        reply = sender.on_getdata(action.message).message
         action = receiver.handle("graphene_block", reply)
         assert action.kind is ActionKind.DONE
 

@@ -53,13 +53,13 @@ class TestRelayExactness:
         sender = GrapheneSenderEngine(scenario.block)
         receiver = GrapheneReceiverEngine(scenario.receiver_mempool)
         action = receiver.start()
-        action = receiver.on_p1_payload(sender.on_getdata(action.message))
+        action = receiver.on_p1_payload(sender.on_getdata(action.message).message)
         if action.kind is ActionKind.SEND:
             action = receiver.on_p2_response(
-                sender.on_p2_request(action.message))
+                sender.on_p2_request(action.message).message)
         if action.kind is ActionKind.SEND:
             action = receiver.on_tx_list(
-                sender.on_shortid_request(action.message))
+                sender.on_shortid_request(action.message).message)
         if action.kind is ActionKind.DONE:
             assert [t.txid for t in action.txs] == scenario.block.txids
             assert action.block.header.merkle_root == \

@@ -111,9 +111,19 @@ class TestIBLTCodec:
         result = decoded.decode()
         assert result.remote == {1234}
 
-    def test_unsupported_cell_width_rejected(self):
-        with pytest.raises(ParameterError):
-            encode_iblt(IBLT(12, cell_bytes=4))
+    def test_exotic_cell_width_roundtrips_full_fidelity(self):
+        # cell_bytes outside 12..18 cannot carry the logical cell in
+        # cell_bytes wire bytes; the codec ships whole cells instead
+        # (flagged in the header) while serialized_size() keeps the
+        # analytic accounting.
+        iblt = IBLT(12, cell_bytes=4)
+        iblt.insert(4321)
+        blob = encode_iblt(iblt)
+        assert len(blob) != iblt.serialized_size()
+        decoded, _ = decode_iblt(blob)
+        assert decoded.cell_bytes == 4
+        assert decoded.serialized_size() == iblt.serialized_size()
+        assert decoded.decode().local == {4321}
 
     def test_wide_checksum_cells(self):
         iblt = IBLT(24, k=4, cell_bytes=18)
