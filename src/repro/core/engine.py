@@ -101,6 +101,14 @@ class ReceiverPhase(enum.Enum):
     FAILED = "failed"
 
 
+#: Response command each in-flight receiver phase is waiting for.
+_AWAITED_BY_PHASE = {
+    ReceiverPhase.WAIT_P1: "graphene_block",
+    ReceiverPhase.WAIT_P2: "graphene_p2_response",
+    ReceiverPhase.WAIT_TXS: "block_txs",
+}
+
+
 class ActionKind(enum.Enum):
     """What the caller should do with an engine step's result."""
 
@@ -205,9 +213,13 @@ class GrapheneSenderEngine:
     def on_shortid_request(self, message: bytes) -> EngineAction:
         """Serve transactions requested by short ID."""
         width = self.config.short_id_bytes
+        if len(message) % width:
+            raise ParameterError(
+                f"short-id request of {len(message)} bytes is not a "
+                f"multiple of short_id_bytes={width}")
         wanted = {
             int.from_bytes(message[i:i + width], "little")
-            for i in range(0, len(message) - width + 1, width)
+            for i in range(0, len(message), width)
         }
         txs = [tx for tx in self.txs if tx.short_id(width) in wanted]
         return self._emit("block_txs", encode_tx_list(txs), "fetch", 3,
@@ -247,6 +259,9 @@ class GrapheneReceiverEngine:
         self.phase = ReceiverPhase.IDLE
         self.header: Optional[BlockHeader] = None
         self._p2_state: Optional[Protocol2ReceiverState] = None
+        #: Last outbound request, kept so a recovery driver can re-emit
+        #: it verbatim after a timeout (see :meth:`reemit_last_request`).
+        self._last_send: Optional[EngineAction] = None
         #: Transactions recovered so far, keyed by txid; on DONE this is
         #: the reconciled view drivers adopt (mempool sync's union).
         self.reconciled: dict = {}
@@ -290,7 +305,10 @@ class GrapheneReceiverEngine:
         self.bytes_sent += len(message)
         event = self._record("getdata", "sent", "p1", 1,
                              {"getdata": getdata_bytes(m)})
-        return EngineAction(ActionKind.SEND, "getdata", message, event=event)
+        action = EngineAction(ActionKind.SEND, "getdata", message,
+                              event=event)
+        self._last_send = action
+        return action
 
     def _fail(self) -> EngineAction:
         logger.info("graphene receiver failed in phase %s; caller should "
@@ -321,8 +339,10 @@ class GrapheneReceiverEngine:
         event = self._record(
             "getdata_shortids", "sent", "fetch", int(self.roundtrips),
             {"extra_getdata": short_id_request_bytes(len(missing), width)})
-        return EngineAction(ActionKind.SEND, "getdata_shortids", out,
-                            event=event)
+        action = EngineAction(ActionKind.SEND, "getdata_shortids", out,
+                              event=event)
+        self._last_send = action
+        return action
 
     def on_p1_payload(self, message: bytes) -> EngineAction:
         """Process [header +] S + I; decode, fetch, or escalate."""
@@ -370,8 +390,10 @@ class GrapheneReceiverEngine:
         self.bytes_sent += len(out)
         event = self._record("graphene_p2_request", "sent", "p2", 2,
                              _p2_request_parts(request))
-        return EngineAction(ActionKind.SEND, "graphene_p2_request", out,
-                            event=event)
+        action = EngineAction(ActionKind.SEND, "graphene_p2_request", out,
+                              event=event)
+        self._last_send = action
+        return action
 
     def on_p2_response(self, message: bytes) -> EngineAction:
         """Process T + J (+ F); finish, fetch leftovers, or fail."""
@@ -435,6 +457,51 @@ class GrapheneReceiverEngine:
         if step is None:
             raise ParameterError(f"receiver cannot handle {command!r}")
         return getattr(self, step)(message)
+
+    # ------------------------------------------------------------------
+    # Recovery hooks (timeout/retry drivers, see repro.net.recovery)
+    # ------------------------------------------------------------------
+
+    def accepts(self, command: str) -> bool:
+        """Whether ``command`` is the response this phase awaits.
+
+        Lossy links plus retransmission mean late duplicates can arrive
+        after the exchange has moved on; drivers use this to drop them
+        instead of tripping the phase discipline.
+        """
+        return _AWAITED_BY_PHASE.get(self.phase) == command
+
+    def note_timeout(self) -> None:
+        """Record that the response to the last request timed out.
+
+        Emits a zero-byte telemetry event (``outcome="timeout"``) so
+        the stall is visible in the canonical event stream without
+        charging any wire bytes.
+        """
+        prev = self._last_send
+        if prev is None or prev.event is None:
+            return
+        self._record(prev.command, "sent", prev.event.phase,
+                     prev.event.roundtrip, {}, outcome="timeout")
+
+    def reemit_last_request(self) -> EngineAction:
+        """Re-issue the last outbound request verbatim after a timeout.
+
+        The retransmission gets its own telemetry event with the same
+        byte decomposition and ``outcome="retry"``, so cost accounting
+        charges the resent bytes honestly.
+        """
+        prev = self._last_send
+        if prev is None or prev.event is None:
+            raise ProtocolFailure("no request in flight to re-emit")
+        event = self._record(prev.command, "sent", prev.event.phase,
+                             prev.event.roundtrip, dict(prev.event.parts),
+                             outcome="retry")
+        self.bytes_sent += len(prev.message)
+        action = EngineAction(ActionKind.SEND, prev.command, prev.message,
+                              event=event)
+        self._last_send = action
+        return action
 
 
 def _parse_header(blob: bytes) -> BlockHeader:

@@ -36,6 +36,15 @@ ROLES = ("receiver", "sender")
 #: numbered-protocol phases; ``push`` only occurs in mempool sync).
 PHASES = ("inv", "p1", "p2", "fetch", "push")
 
+#: Outcomes an event may resolve with.  "" marks a plain transfer; the
+#: decode outcomes ("decoded", "fallback", "fetch", "done", "failed")
+#: are set by the engines on phase-resolving messages; "timeout" (the
+#: awaited response never arrived, zero bytes) and "retry" (the request
+#: was retransmitted and its bytes charged again) come from the relay
+#: recovery subsystem (:mod:`repro.net.recovery`).
+OUTCOMES = ("", "decoded", "fallback", "fetch", "done", "failed",
+            "timeout", "retry")
+
 
 @dataclass(frozen=True)
 class MessageEvent:
@@ -48,8 +57,9 @@ class MessageEvent:
     roundtrip: int  # 0 = inv, 1 = getdata/P1, 2 = P2, 3 = fetch
     #: Byte decomposition, keyed by CostBreakdown field names.
     parts: Mapping[str, int] = field(default_factory=dict)
-    #: Decode outcome, set on the messages that resolve a phase:
-    #: "decoded", "fallback", "fetch", "done" or "failed".
+    #: Outcome, set on the messages that resolve a phase ("decoded",
+    #: "fallback", "fetch", "done", "failed") or mark a recovery step
+    #: ("timeout", "retry"); see :data:`OUTCOMES`.
     outcome: str = ""
 
     def __post_init__(self):
@@ -59,6 +69,8 @@ class MessageEvent:
             raise ParameterError(f"bad role {self.role!r}")
         if self.phase not in PHASES:
             raise ParameterError(f"bad phase {self.phase!r}")
+        if self.outcome not in OUTCOMES:
+            raise ParameterError(f"bad outcome {self.outcome!r}")
         for name, nbytes in self.parts.items():
             if nbytes < 0:
                 raise ParameterError(

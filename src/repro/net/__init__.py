@@ -10,15 +10,19 @@ and topology builders (:mod:`~repro.net.topology`).
 """
 
 from repro.net.messages import NetMessage
-from repro.net.simulator import Link, Simulator
+from repro.net.simulator import EventHandle, FaultInjector, Link, Simulator
+from repro.net.recovery import RecoveryPolicy
 from repro.net.transport import LoopbackTransport, SimulatorTransport, Transport
 from repro.net.node import Node, RelayProtocol
 from repro.net.topology import connect_clique, connect_line, connect_random_regular
 
 __all__ = [
     "NetMessage",
+    "EventHandle",
+    "FaultInjector",
     "Link",
     "Simulator",
+    "RecoveryPolicy",
     "Transport",
     "LoopbackTransport",
     "SimulatorTransport",

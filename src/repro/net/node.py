@@ -40,7 +40,15 @@ from repro.core.sizing import (
 )
 from repro.errors import ParameterError
 from repro.net.messages import NetMessage
-from repro.net.simulator import Link, Simulator
+from repro.net.recovery import (
+    RecoveryPolicy,
+    RelayRecoveryMixin,
+    STAGE_ENGINE,
+    STAGE_FULLBLOCK,
+    STAGE_REQUEST,
+    prune_oldest,
+)
+from repro.net.simulator import FaultInjector, Link, Simulator
 from repro.net.sync import MempoolSyncMixin
 from repro.net.transport import SimulatorTransport
 from repro.pds.bloom import BloomFilter
@@ -88,13 +96,14 @@ class PeerStats:
         self.messages_sent += 1
 
 
-class Node(MempoolSyncMixin):
+class Node(RelayRecoveryMixin, MempoolSyncMixin):
     """One peer in the simulated network."""
 
     def __init__(self, node_id: str, simulator: Simulator,
                  protocol: RelayProtocol = RelayProtocol.GRAPHENE,
                  config: Optional[GrapheneConfig] = None,
-                 trickle_interval: float = 0.0):
+                 trickle_interval: float = 0.0,
+                 recovery: Optional[RecoveryPolicy] = None):
         if not node_id:
             raise ParameterError("node_id must be non-empty")
         if trickle_interval < 0:
@@ -104,6 +113,7 @@ class Node(MempoolSyncMixin):
         self.simulator = simulator
         self.protocol = protocol
         self.config = config or GrapheneConfig()
+        self.recovery = recovery or RecoveryPolicy()
         #: Bitcoin-style inv trickling: queue announcements per peer and
         #: flush them in batches every ``trickle_interval`` seconds
         #: (0 = announce immediately).  Trickling is why mempools lag
@@ -116,20 +126,29 @@ class Node(MempoolSyncMixin):
         self.peers: dict = {}           # node -> Link
         self.stats: dict = {}           # node -> PeerStats
         self.block_arrival: dict = {}   # merkle root -> sim time
+        #: Transaction-inv dedup (txids only; block roots live in the
+        #: recovery source registry so stalled fetches can fail over).
         self._seen_inv: set = set()
         # Graphene wire engines, keyed by block Merkle root.
         self._rx_engines: dict = {}
         self._tx_engines: dict = {}
         #: Telemetry streams per received block relay (merkle root ->
         #: list of MessageEvent); kept after the engine completes so
-        #: experiments can fold them into cost breakdowns.
+        #: experiments can fold them into cost breakdowns, retained up
+        #: to ``recovery.telemetry_cap`` streams.
         self.relay_telemetry: dict = {}
         # Compact Blocks repair state: root -> (header, matched txs).
         self._cb_pending: dict = {}
         # Mempool sync sessions (see repro.net.sync).
         self._sync_sessions: dict = {}
         self._sync_serving: dict = {}
+        # Recovery subsystem state (see repro.net.recovery): per-root
+        # fetch ladders and the root -> announcing-peers registry.
+        self._block_recovery: dict = {}
+        self._block_sources: dict = {}
         self.relay_failures = 0
+        self.relay_retries = 0
+        self.relay_timeouts = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -162,12 +181,24 @@ class Node(MempoolSyncMixin):
             raise ParameterError(
                 f"{self.node_id} is not peered with {peer.node_id}")
         self.stats[peer].record(message)
-        if link.drops():
-            return  # lost in transit; bytes were still spent sending
+        dropped = link.drops(self.simulator.now, message.command)
+        # A dropped message still occupied the sender side of the link:
+        # the bytes left the NIC before being lost, so the FIFO busy
+        # window advances (and PeerStats charged them) either way.
         deliver_at = link.transmit_schedule(self.simulator.now,
                                             message.total_size)
+        if dropped:
+            return
         self.simulator.schedule_at(
             deliver_at, lambda: peer.receive(self, message))
+
+    def inject_fault(self, peer: "Node", fault: FaultInjector) -> None:
+        """Attach a deterministic fault plan to the link toward ``peer``."""
+        link = self.peers.get(peer)
+        if link is None:
+            raise ParameterError(
+                f"{self.node_id} is not peered with {peer.node_id}")
+        link.fault = fault
 
     # ------------------------------------------------------------------
     # Transaction gossip (inv / getdata / tx)
@@ -217,6 +248,10 @@ class Node(MempoolSyncMixin):
         self.blocks[root] = block
         self.block_arrival[root] = self.simulator.now
         self.mempool.remove_block(block.txids)
+        # The block is here -- however it got here.  Cancel any pending
+        # recovery ladder and evict every bit of in-flight fetch state
+        # tied to this root (engines, CB repair, source registry).
+        self._gc_block_state(root)
         for peer in self.peers:
             if peer is origin:
                 continue
@@ -239,35 +274,16 @@ class Node(MempoolSyncMixin):
     def _on_inv(self, sender: "Node", payload) -> None:
         if isinstance(payload, tuple) and payload[0] == "block":
             root = payload[1]
-            if root not in self.blocks and root not in self._seen_inv:
-                self._seen_inv.add(root)
-                if self.protocol is RelayProtocol.GRAPHENE:
-                    # Spin up a receiver engine; the getdata carries m
-                    # (the engine's own start message, paper Fig. 2).
-                    engine = GrapheneReceiverEngine(self.mempool,
-                                                    self.config)
-                    action = engine.start()
-                    self._rx_engines[root] = engine
-                    self.relay_telemetry[root] = engine.telemetry
-                    self._send(sender, NetMessage(
-                        "getdata", ("block", root, action.message),
-                        len(action.message), event=action.event))
-                    return
-                if self.protocol is RelayProtocol.XTHIN:
-                    # XThin's getdata carries a Bloom filter of the whole
-                    # mempool (paper 2.2).
-                    bloom = BloomFilter.from_fpr(
-                        max(1, len(self.mempool)), XTHIN_MEMPOOL_FPR,
-                        seed=0x7417)
-                    for tx in self.mempool:
-                        bloom.insert(tx.txid)
-                    self._send(sender, NetMessage(
-                        "xthin_getdata", (root, bloom),
-                        getdata_bytes(0) + bloom.serialized_size()))
-                    return
-                self._send(sender, NetMessage(
-                    "getdata", ("block", root, len(self.mempool)),
-                    getdata_bytes(len(self.mempool))))
+            if root in self.blocks:
+                return
+            # Register every announcer so a stalled fetch can fail over
+            # (the recovery ladder's rung 3); only the first inv opens
+            # an exchange.
+            sources = self._block_sources.setdefault(root, [])
+            if sender not in sources:
+                sources.append(sender)
+            if root not in self._block_recovery:
+                self._begin_block_fetch(sender, root, self._initial_stage())
             return
         if isinstance(payload, tuple) and payload[0] == "txs":
             # A trickled batch announcement: request all news in one
@@ -287,6 +303,71 @@ class Node(MempoolSyncMixin):
             self._seen_inv.add(txid)
             self._send(sender, NetMessage("getdata", ("tx", txid),
                                           getdata_bytes(0)))
+
+    # ------------------------------------------------------------------
+    # Block fetch primitives (driven by the recovery ladder)
+    # ------------------------------------------------------------------
+
+    def _initial_stage(self) -> str:
+        """Opening recovery-ladder stage for this node's protocol."""
+        return STAGE_ENGINE if self.protocol is RelayProtocol.GRAPHENE \
+            else STAGE_REQUEST
+
+    def _request_block(self, peer: "Node", root: bytes) -> None:
+        """Issue this protocol's opening block request to ``peer``.
+
+        Called for the first inv, for a request-stage retry, and when
+        failing over to an alternate announcer (which restarts the
+        exchange with a fresh engine appending to the same telemetry
+        stream).
+        """
+        if self.protocol is RelayProtocol.GRAPHENE:
+            # Spin up a receiver engine; the getdata carries m (the
+            # engine's own start message, paper Fig. 2).
+            stream = self.relay_telemetry.setdefault(root, [])
+            prune_oldest(self.relay_telemetry, self.recovery.telemetry_cap)
+            engine = GrapheneReceiverEngine(self.mempool, self.config,
+                                            telemetry=stream)
+            action = engine.start()
+            self._rx_engines[root] = engine
+            self._send(peer, NetMessage(
+                "getdata", ("block", root, action.message),
+                len(action.message), event=action.event))
+            return
+        if self.protocol is RelayProtocol.XTHIN:
+            # XThin's getdata carries a Bloom filter of the whole
+            # mempool (paper 2.2).
+            bloom = BloomFilter.from_fpr(
+                max(1, len(self.mempool)), XTHIN_MEMPOOL_FPR,
+                seed=0x7417)
+            for tx in self.mempool:
+                bloom.insert(tx.txid)
+            self._send(peer, NetMessage(
+                "xthin_getdata", (root, bloom),
+                getdata_bytes(0) + bloom.serialized_size()))
+            return
+        self._send(peer, NetMessage(
+            "getdata", ("block", root, len(self.mempool)),
+            getdata_bytes(len(self.mempool))))
+
+    def _resend_engine_request(self, peer: "Node", root: bytes) -> None:
+        """Retransmit the receiver engine's last request (rung 1)."""
+        engine = self._rx_engines.get(root)
+        if engine is None:
+            # The engine went away (e.g. evicted); restart from scratch.
+            self._request_block(peer, root)
+            return
+        action = engine.reemit_last_request()
+        if action.command == "getdata":
+            self._send(peer, NetMessage(
+                "getdata", ("block", root, action.message),
+                len(action.message), event=action.event))
+            return
+        SimulatorTransport(self, peer, root).deliver(action)
+
+    def _send_fullblock_getdata(self, peer: "Node", root: bytes) -> None:
+        self._send(peer, NetMessage(
+            "getdata", ("fullblock", root, 0), getdata_bytes(0)))
 
     def _on_getdata(self, sender: "Node", payload) -> None:
         kind = payload[0]
@@ -347,6 +428,10 @@ class Node(MempoolSyncMixin):
             if engine is None:
                 engine = GrapheneSenderEngine(block, self.config)
                 self._tx_engines[root] = engine
+                # Serving engines are stateless per request; retain a
+                # bounded working set of recent roots (a peer whose
+                # engine was evicted recovers via its timeout ladder).
+                prune_oldest(self._tx_engines, self.recovery.serving_cap)
             # A graphene receiver's getdata carries the engine's start
             # message; accept a bare count from non-graphene peers.
             blob = receiver_m if isinstance(receiver_m, bytes) \
@@ -388,6 +473,8 @@ class Node(MempoolSyncMixin):
             engine = self._rx_engines.get(root)
             if engine is None:
                 return  # already assembled via another peer
+            if not engine.accepts(command):
+                return  # late duplicate after a recovery retransmission
             self._dispatch_receiver_action(sender, root,
                                            engine.handle(command, blob))
             return
@@ -408,21 +495,26 @@ class Node(MempoolSyncMixin):
             return
         if action.kind is ActionKind.FAILED:
             # Deployed clients fall back to a full-block request.
-            self.relay_failures += 1
             self._rx_engines.pop(root, None)
-            self._send(sender, NetMessage(
-                "getdata", ("fullblock", root, 0), getdata_bytes(0)))
+            self._fallback_full_block(sender, root)
             return
         SimulatorTransport(self, sender, root).deliver(action)
+        self._note_block_progress(root)
 
     # ------------------------------------------------------------------
     # Compact Blocks wire handlers (BIP-152 message flow)
     # ------------------------------------------------------------------
 
     def _fallback_full_block(self, sender: "Node", root: bytes) -> None:
+        """Decode failure: request the whole block, with recovery armed."""
         self.relay_failures += 1
-        self._send(sender, NetMessage(
-            "getdata", ("fullblock", root, 0), getdata_bytes(0)))
+        state = self._block_recovery.get(root)
+        if state is not None:
+            state.peer = sender
+            state.stage = STAGE_FULLBLOCK
+            state.attempts = 0
+        self._send_fullblock_getdata(sender, root)
+        self._arm_block_timer(root)
 
     def _try_accept_candidate(self, sender: "Node", root: bytes,
                               header, txs) -> bool:
@@ -462,6 +554,9 @@ class Node(MempoolSyncMixin):
                 + index_width(len(sids)) * len(missing))
         self._send(sender, NetMessage("getblocktxn",
                                       (root, tuple(missing)), size))
+        # The exchange advanced; give the blocktxn reply a fresh timer
+        # (a timeout restarts the whole cmpctblock request).
+        self._note_block_progress(root)
 
     def _on_getblocktxn(self, sender: "Node", payload) -> None:
         root, indexes = payload

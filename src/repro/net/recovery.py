@@ -1,0 +1,236 @@
+"""Timeout/retry/fallback recovery for simulated relay exchanges.
+
+The paper's deployment story (sections 4.3 and 5) is that Graphene
+keeps propagating under real p2p conditions, yet a naive simulated
+relay has no recovery path: one dropped ``graphene_block`` leaves the
+receiver engine in ``WAIT_P1`` forever, and a write-once inv dedup set
+means the node never re-requests the block from anyone.  This module
+is the missing subsystem: per-exchange timeout timers on the
+:class:`~repro.net.simulator.Simulator`, a capped exponential-backoff
+retry ladder, and a per-root *source registry* so a stalled fetch can
+fail over to another announcing peer.
+
+The ladder for a stalled block fetch, climbed one timeout at a time::
+
+    rung 1  resend the last request to the same peer
+            (exponential backoff, at most ``max_retries`` times)
+    rung 2  escalate to a full-block getdata from that peer
+            (same retry cap)
+    rung 3  fail over to the next peer that announced the root
+            (restarting the protocol exchange from scratch)
+
+When every announcer has been tried the fetch is *abandoned*: all
+in-flight state is garbage-collected and a later inv from any peer
+starts over.  Every timer is cancelled the moment the awaited response
+arrives, so a loss-free run never observes the subsystem at all -- the
+same messages cross the wire in the same order, byte for byte.
+
+Recovery is observable: timeouts and retransmissions append
+``outcome="timeout"`` / ``outcome="retry"`` events to the per-relay
+telemetry stream (retries carry the resent byte decomposition, so
+:meth:`CostBreakdown.from_events
+<repro.core.sizing.CostBreakdown.from_events>` charges them honestly)
+and bump the node's ``relay_timeouts`` / ``relay_retries`` counters
+next to ``relay_failures``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.sizing import getdata_bytes
+from repro.core.telemetry import MessageEvent
+from repro.errors import ParameterError
+
+logger = logging.getLogger(__name__)
+
+#: Ladder stages of one in-flight block fetch.
+STAGE_ENGINE = "engine"        # Graphene engine exchange in progress
+STAGE_REQUEST = "request"      # baseline protocol request outstanding
+STAGE_FULLBLOCK = "fullblock"  # escalated to a full-block getdata
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs for the relay recovery ladder.
+
+    ``timeout_base`` is the first-attempt timer; each retry multiplies
+    it by ``backoff``.  ``max_retries`` caps resends *per rung* (the
+    engine/request rung and the full-block rung each get their own
+    budget).  ``telemetry_cap`` and ``serving_cap`` bound the retention
+    registries (completed relay telemetry streams, sender-side serving
+    engines) so long simulations do not grow without bound.
+    """
+
+    enabled: bool = True
+    timeout_base: float = 2.0
+    backoff: float = 2.0
+    max_retries: int = 3
+    telemetry_cap: int = 256
+    serving_cap: int = 64
+
+    def __post_init__(self):
+        if self.timeout_base <= 0:
+            raise ParameterError(
+                f"timeout_base must be > 0, got {self.timeout_base}")
+        if self.backoff < 1.0:
+            raise ParameterError(
+                f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.telemetry_cap < 1 or self.serving_cap < 1:
+            raise ParameterError("retention caps must be >= 1")
+
+    def timeout_for(self, attempts: int) -> float:
+        """Timer duration after ``attempts`` resends on this rung."""
+        return self.timeout_base * self.backoff ** attempts
+
+
+@dataclass
+class BlockFetchState:
+    """Receiver-side recovery state for one in-flight block fetch."""
+
+    peer: object                    # Node currently serving the fetch
+    stage: str                      # STAGE_ENGINE/REQUEST/FULLBLOCK
+    attempts: int = 0               # resends on the current rung
+    timer: Optional[object] = None  # EventHandle of the armed timeout
+    tried: Set[object] = field(default_factory=set)  # exhausted peers
+
+
+def prune_oldest(registry: dict, cap: int) -> None:
+    """Evict insertion-oldest entries until ``registry`` fits ``cap``."""
+    while len(registry) > cap:
+        registry.pop(next(iter(registry)))
+
+
+class RelayRecoveryMixin:
+    """Recovery handlers a :class:`~repro.net.node.Node` gains.
+
+    The node provides the protocol-specific primitives
+    (``_request_block``, ``_resend_engine_request``,
+    ``_send_fullblock_getdata``, ``_initial_stage``); this mixin owns
+    the timers, the ladder, the source registry and the stale-state GC.
+    """
+
+    # -- fetch lifecycle ------------------------------------------------
+
+    def _begin_block_fetch(self, peer, root, stage: str) -> None:
+        """Open a fetch for ``root`` from ``peer`` and arm its timer."""
+        self._block_recovery[root] = BlockFetchState(peer=peer, stage=stage)
+        self._request_block(peer, root)
+        self._arm_block_timer(root)
+
+    def _arm_block_timer(self, root) -> None:
+        state = self._block_recovery.get(root)
+        if state is None or not self.recovery.enabled:
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.simulator.schedule(
+            self.recovery.timeout_for(state.attempts),
+            lambda: self._on_block_timeout(root))
+
+    def _note_block_progress(self, root) -> None:
+        """An outbound step advanced: reset backoff, re-arm the timer."""
+        state = self._block_recovery.get(root)
+        if state is None:
+            return
+        state.attempts = 0
+        self._arm_block_timer(root)
+
+    def _gc_block_state(self, root) -> None:
+        """The block is here (or hopeless): drop all in-flight state."""
+        state = self._block_recovery.pop(root, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        self._block_sources.pop(root, None)
+        self._rx_engines.pop(root, None)
+        self._cb_pending.pop(root, None)
+
+    # -- the ladder -----------------------------------------------------
+
+    def _on_block_timeout(self, root) -> None:
+        state = self._block_recovery.get(root)
+        if state is None or root in self.blocks:
+            return
+        self.relay_timeouts += 1
+        self._record_recovery_event(root, "timeout")
+        if state.attempts < self.recovery.max_retries:
+            state.attempts += 1
+            self.relay_retries += 1
+            self._resend_block_request(root, state)
+            self._arm_block_timer(root)
+            return
+        if state.stage in (STAGE_ENGINE, STAGE_REQUEST):
+            # Rung 2: the protocol exchange stalled repeatedly; stop
+            # nursing it and fetch the whole block instead.
+            logger.info("%s: fetch of %s from %s stalled; escalating to "
+                        "full block", self.node_id, root.hex()[:12],
+                        state.peer.node_id)
+            state.stage = STAGE_FULLBLOCK
+            state.attempts = 0
+            self._rx_engines.pop(root, None)
+            self._send_fullblock_getdata(state.peer, root)
+            self._arm_block_timer(root)
+            return
+        # Rung 3: this peer is a lost cause; fail over to the next
+        # peer that announced the root.
+        state.tried.add(state.peer)
+        alternate = next(
+            (p for p in self._block_sources.get(root, ())
+             if p not in state.tried and p in self.peers), None)
+        if alternate is None:
+            self._abandon_block_fetch(root)
+            return
+        logger.info("%s: failing over fetch of %s to %s", self.node_id,
+                    root.hex()[:12], alternate.node_id)
+        state.peer = alternate
+        state.stage = self._initial_stage()
+        state.attempts = 0
+        self._rx_engines.pop(root, None)
+        self._request_block(alternate, root)
+        self._arm_block_timer(root)
+
+    def _resend_block_request(self, root, state: BlockFetchState) -> None:
+        if state.stage == STAGE_FULLBLOCK:
+            self._record_recovery_event(
+                root, "retry", parts={"extra_getdata": getdata_bytes(0)})
+            self._send_fullblock_getdata(state.peer, root)
+        elif state.stage == STAGE_ENGINE:
+            self._resend_engine_request(state.peer, root)
+        else:  # STAGE_REQUEST: re-issue the protocol's opening request
+            self._request_block(state.peer, root)
+
+    def _abandon_block_fetch(self, root) -> None:
+        logger.warning("%s: abandoning fetch of %s (every announcer "
+                       "exhausted); a fresh inv will restart it",
+                       self.node_id, root.hex()[:12])
+        self._gc_block_state(root)
+
+    # -- telemetry ------------------------------------------------------
+
+    def _record_recovery_event(self, root, outcome: str,
+                               parts: Optional[dict] = None) -> None:
+        """Make a recovery step visible in the per-relay event stream.
+
+        Engine-stage timeouts go through the engine (it knows the
+        stalled request's phase); engine-stage retries are recorded by
+        :meth:`~repro.core.engine.GrapheneReceiverEngine.reemit_last_request`
+        itself.  Full-block-stage steps get node-made events; baseline
+        protocols keep no per-relay stream, so there is nothing to do.
+        """
+        engine = self._rx_engines.get(root)
+        if engine is not None:
+            if outcome == "timeout":
+                engine.note_timeout()
+            return
+        stream = self.relay_telemetry.get(root)
+        if stream is None:
+            return
+        stream.append(MessageEvent(
+            command="getdata", direction="sent", role="receiver",
+            phase="fetch", roundtrip=4, parts=dict(parts or {}),
+            outcome=outcome))

@@ -2,9 +2,23 @@
 
 Models what the paper's motivation depends on: message delivery time is
 ``latency + size / bandwidth``, so smaller block encodings propagate
-measurably faster.  Events are (time, sequence, callback) triples on a
-heap; links are FIFO per direction (a message cannot overtake an
-earlier one on the same link).
+measurably faster.  Events are (time, sequence, callback, handle)
+entries on a heap; links are FIFO per direction (a message cannot
+overtake an earlier one on the same link).
+
+Two facilities exist for the relay recovery subsystem
+(:mod:`repro.net.recovery`):
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`EventHandle` so timeout timers can be cancelled when the
+  awaited response arrives.  Cancelled events are lazily skipped --
+  they never advance the clock nor count as processed, so a run whose
+  timers all get cancelled is indistinguishable from one that never
+  armed them.
+* :class:`FaultInjector` attaches deterministic fault plans to a
+  :class:`Link` (drop the nth message, drop by wire command, blackhole
+  a time window) for chaos tests that exercise specific loss points
+  instead of random ones.
 """
 
 from __future__ import annotations
@@ -13,9 +27,54 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, FrozenSet, Optional, Tuple
 
 from repro.errors import ParameterError
+
+
+@dataclass
+class EventHandle:
+    """Cancellation token for one scheduled event (lazy deletion)."""
+
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault plan for one direction of one link.
+
+    Unlike ``Link.loss_rate`` (random, seeded loss) a fault plan drops
+    *chosen* messages, which is what recovery tests need: "the first
+    graphene_block is lost", "every full-block response is lost",
+    "nothing gets through between t=1 and t=3".
+
+    ``drop_nth`` holds 0-based indices into the stream of messages
+    crossing the link; ``drop_commands`` drops every message whose wire
+    command matches; ``blackhole`` is a half-open ``(start, end)``
+    sim-time window during which everything is lost.
+    """
+
+    drop_nth: FrozenSet[int] = frozenset()
+    drop_commands: FrozenSet[str] = frozenset()
+    blackhole: Optional[Tuple[float, float]] = None
+    #: Messages dropped so far (for test assertions).
+    dropped: int = 0
+    _index: int = field(default=0, repr=False)
+
+    def should_drop(self, now: float, command: str) -> bool:
+        """Decide the fate of the next message; advances the index."""
+        index = self._index
+        self._index += 1
+        hit = (index in self.drop_nth
+               or command in self.drop_commands
+               or (self.blackhole is not None
+                   and self.blackhole[0] <= now < self.blackhole[1]))
+        if hit:
+            self.dropped += 1
+        return hit
 
 
 @dataclass
@@ -24,7 +83,8 @@ class Link:
 
     ``loss_rate`` models UDP-ish gossip unreliability (dropped invs and
     transactions are what make mempool synchronization earn its keep);
-    set it to 0 for the TCP-like reliable default.
+    set it to 0 for the TCP-like reliable default.  ``fault`` layers a
+    deterministic :class:`FaultInjector` plan on top for chaos tests.
     """
 
     latency: float = 0.05
@@ -34,6 +94,8 @@ class Link:
     #: the (src, dst) endpoint pair so loss is uncorrelated across links
     #: yet reproducible.  An explicit int pins the stream.
     loss_seed: Optional[int] = None
+    #: Optional deterministic fault plan, consulted before random loss.
+    fault: Optional[FaultInjector] = None
     #: Time at which the sender side of this link frees up (FIFO model).
     _busy_until: float = field(default=0.0, repr=False)
     _loss_rng: Optional[random.Random] = field(default=None, repr=False)
@@ -57,8 +119,16 @@ class Link:
             if self.loss_rate:
                 self._loss_rng = random.Random(seed)
 
-    def drops(self) -> bool:
-        """Decide whether the next message is lost in transit."""
+    def drops(self, now: float = 0.0, command: str = "") -> bool:
+        """Decide whether the next message is lost in transit.
+
+        ``now`` and ``command`` feed the deterministic fault plan when
+        one is attached; the random loss stream is only consulted for
+        messages the fault plan lets through, so attaching a plan does
+        not perturb the seeded loss sequence of surviving traffic.
+        """
+        if self.fault is not None and self.fault.should_drop(now, command):
+            return True
         if not self.loss_rate:
             return False
         if self._loss_rng is None:  # standalone link never given a seed
@@ -83,39 +153,54 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def _push(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        handle = EventHandle()
+        heapq.heappush(self._queue,
+                       (when, next(self._seq), callback, handle))
+        return handle
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ParameterError(f"delay must be >= 0, got {delay}")
-        heapq.heappush(self._queue,
-                       (self.now + delay, next(self._seq), callback))
+        return self._push(self.now + delay, callback)
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, when: float,
+                    callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at absolute time ``when`` (>= now)."""
         if when < self.now:
             raise ParameterError(
                 f"cannot schedule in the past: {when} < {self.now}")
-        heapq.heappush(self._queue, (when, next(self._seq), callback))
+        return self._push(when, callback)
 
     def run(self, until: Optional[float] = None,
             max_events: int = 1_000_000) -> float:
         """Drain the event queue; return the final clock value.
 
-        ``until`` stops the clock at a horizon; ``max_events`` guards
-        against runaway protocols.
+        ``until`` stops the clock at a horizon; on exit the clock is
+        clamped *to* the horizon even when events remain beyond it (so
+        back-to-back ``run(until=now + dt)`` calls advance in real
+        ``dt`` steps).  ``max_events`` guards against runaway
+        protocols.  Cancelled events are discarded without advancing
+        the clock or counting as processed.
         """
         while self._queue and self.events_processed < max_events:
-            when, _, callback = self._queue[0]
+            when, _, callback, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and when > until:
                 break
             heapq.heappop(self._queue)
             self.now = when
             self.events_processed += 1
             callback()
-        if until is not None and self.now < until and not self._queue:
+        if until is not None and self.now < until:
             self.now = until
         return self.now
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for *_, handle in self._queue if not handle.cancelled)

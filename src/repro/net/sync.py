@@ -43,6 +43,7 @@ from repro.core.engine import (
 from repro.core.telemetry import MessageEvent
 from repro.errors import ParameterError
 from repro.net.messages import NetMessage
+from repro.net.recovery import prune_oldest
 from repro.net.transport import SimulatorTransport
 
 logger = logging.getLogger(__name__)
@@ -73,6 +74,12 @@ class SyncState:
     engine: GrapheneReceiverEngine
     done: bool = False
     succeeded: bool = False
+    #: The responder Node, kept so timed-out requests can be resent.
+    peer: object = None
+    #: Recovery bookkeeping: resends of the current round, and the
+    #: armed timeout timer (an EventHandle, cancelled on progress).
+    attempts: int = 0
+    timer: object = None
 
     @property
     def reconciled(self) -> dict:
@@ -111,8 +118,10 @@ class MempoolSyncMixin:
         nonce = self._next_sync_nonce()
         engine = GrapheneReceiverEngine(self.mempool, self.config,
                                         mode="mempool")
-        state = SyncState(nonce=nonce, peer_id=peer.node_id, engine=engine)
+        state = SyncState(nonce=nonce, peer_id=peer.node_id, engine=engine,
+                          peer=peer)
         self._sync_sessions[nonce] = state
+        prune_oldest(self._sync_sessions, self.recovery.telemetry_cap)
         self._dispatch_sync_action(peer, state, engine.start())
         return nonce
 
@@ -141,6 +150,10 @@ class MempoolSyncMixin:
             engine = GrapheneSenderEngine(
                 txs=self.mempool.transactions(), config=self.config)
             self._sync_serving[key] = engine
+            # A lost sync_push would leak this engine forever; retain a
+            # bounded working set instead (evicted syncs restart via
+            # the initiator's timeout ladder).
+            prune_oldest(self._sync_serving, self.recovery.serving_cap)
         SimulatorTransport(self, sender, nonce,
                            command_map=_WIRE_BY_STEP).deliver(
             engine.handle(step, blob))
@@ -166,6 +179,8 @@ class MempoolSyncMixin:
         state = self._sync_sessions.get(nonce)
         if state is None or state.done:
             return
+        if not state.engine.accepts(step):
+            return  # late duplicate after a recovery retransmission
         self._dispatch_sync_action(sender, state,
                                    state.engine.handle(step, blob))
 
@@ -174,13 +189,53 @@ class MempoolSyncMixin:
         if action.kind is ActionKind.SEND:
             SimulatorTransport(self, peer, state.nonce,
                                command_map=_WIRE_BY_STEP).deliver(action)
+            self._arm_sync_timer(state, progress=True)
             return
+        self._cancel_sync_timer(state)
         if action.kind is ActionKind.DONE:
             self._finish_sync(peer, state)
             return
         logger.info("mempool sync %d with %s failed to decode",
                     state.nonce, state.peer_id)
         state.done = True
+
+    # -- recovery (timeout ladder for lost sync rounds) -----------------
+
+    def _arm_sync_timer(self, state: SyncState, progress: bool) -> None:
+        """(Re)arm the round timer; progress resets the backoff."""
+        if not self.recovery.enabled:
+            return
+        if progress:
+            state.attempts = 0
+        self._cancel_sync_timer(state)
+        state.timer = self.simulator.schedule(
+            self.recovery.timeout_for(state.attempts),
+            lambda: self._on_sync_timeout(state.nonce))
+
+    def _cancel_sync_timer(self, state: SyncState) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+
+    def _on_sync_timeout(self, nonce: int) -> None:
+        state = self._sync_sessions.get(nonce)
+        if state is None or state.done:
+            return
+        self.relay_timeouts += 1
+        state.engine.note_timeout()
+        if (state.attempts >= self.recovery.max_retries
+                or state.peer not in self.peers):
+            logger.info("mempool sync %d with %s abandoned after %d "
+                        "resends", nonce, state.peer_id, state.attempts)
+            state.done = True
+            self._cancel_sync_timer(state)
+            return
+        state.attempts += 1
+        self.relay_retries += 1
+        SimulatorTransport(self, state.peer, nonce,
+                           command_map=_WIRE_BY_STEP).deliver(
+            state.engine.reemit_last_request())
+        self._arm_sync_timer(state, progress=False)
 
     def _finish_sync(self, peer, state: SyncState) -> None:
         engine = state.engine

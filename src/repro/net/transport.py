@@ -17,6 +17,14 @@ side.  Two implementations cover every caller in the package:
 Both charge bytes from the action's attached telemetry event, so a
 loopback relay and a simulated relay of the same block account the
 same wire bytes by construction.
+
+Recovery retransmissions (see :mod:`repro.net.recovery`) flow through
+the same ``deliver`` path as first sends: a re-emitted engine action
+carries a fresh ``outcome="retry"`` event with the original byte
+decomposition, so retried bytes are charged exactly like original
+ones.  Duplicate deliveries that retransmission can cause are shed at
+the receiving end by the engines' ``accepts()`` phase guard, never by
+the transport.
 """
 
 from __future__ import annotations

@@ -1,0 +1,395 @@
+"""Tests for the relay recovery subsystem (repro.net.recovery).
+
+Timeout timers, the retry -> full block -> alternate peer ladder,
+fault injection, stale-state GC, and the acceptance chaos scenario:
+a 20-node Graphene topology with 5% per-link loss must converge with
+the recovery trail visible in telemetry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.scenarios import make_block_scenario, make_sync_scenario
+from repro.core.engine import (
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
+from repro.core.sizing import CostBreakdown
+from repro.errors import ParameterError, ProtocolFailure
+from repro.net import (
+    FaultInjector,
+    Link,
+    NetMessage,
+    Node,
+    RecoveryPolicy,
+    Simulator,
+    connect_random_regular,
+)
+
+
+def _graphene_pair(fault=None, scenario_seed=7, recovery=None):
+    """Two peered nodes sharing a scenario's receiver mempool."""
+    sc = make_block_scenario(n=100, extra=100, fraction=1.0,
+                             seed=scenario_seed)
+    sim = Simulator()
+    a = Node("a", sim, recovery=recovery)
+    b = Node("b", sim, recovery=recovery)
+    a.connect(b)
+    if fault is not None:
+        a.inject_fault(b, fault)
+    b.mempool.add_many(sc.receiver_mempool.transactions())
+    return sim, a, b, sc
+
+
+class TestSimulatorTimers:
+    def test_cancelled_event_never_fires_nor_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0          # clock stopped at the live event
+        assert sim.events_processed == 1  # cancelled one never counted
+
+    def test_run_clamps_clock_to_horizon_with_events_remaining(self):
+        # Regression: the clock used to stop at the last processed
+        # event when events remained beyond the horizon, so repeated
+        # run(until=now + dt) calls advanced in lurches.
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(10.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+        assert sim.pending == 1
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        keep.cancel()
+        assert sim.pending == 0
+
+
+class TestFaultInjector:
+    def test_drop_nth(self):
+        fault = FaultInjector(drop_nth=frozenset({0, 2}))
+        verdicts = [fault.should_drop(0.0, "inv") for _ in range(4)]
+        assert verdicts == [True, False, True, False]
+        assert fault.dropped == 2
+
+    def test_drop_by_command(self):
+        fault = FaultInjector(drop_commands=frozenset({"graphene_block"}))
+        assert fault.should_drop(0.0, "graphene_block")
+        assert not fault.should_drop(0.0, "inv")
+
+    def test_blackhole_window(self):
+        fault = FaultInjector(blackhole=(1.0, 3.0))
+        assert not fault.should_drop(0.5, "inv")
+        assert fault.should_drop(1.0, "inv")
+        assert fault.should_drop(2.9, "inv")
+        assert not fault.should_drop(3.0, "inv")
+
+    def test_fault_does_not_perturb_seeded_loss_stream(self):
+        clean = Link(loss_rate=0.5, loss_seed=7)
+        faulted = Link(loss_rate=0.5, loss_seed=7,
+                       fault=FaultInjector(drop_nth=frozenset({1, 3})))
+        # Messages the fault lets through see the same loss verdicts
+        # the clean link would give them, in order.
+        clean_draws = [clean.drops() for _ in range(4)]
+        survivors = [faulted.drops(0.0, "inv") for _ in range(6)]
+        assert survivors[1] and survivors[3]  # fault-dropped
+        passed = [v for i, v in enumerate(survivors) if i not in (1, 3)]
+        assert passed == clean_draws
+
+
+class TestDroppedMessagesOccupyLink:
+    def test_busy_window_advances_on_drop(self):
+        # Regression: a dropped message used to consume zero sender
+        # bandwidth while PeerStats still charged its bytes.
+        sim = Simulator()
+        a, b = Node("a", sim), Node("b", sim)
+        link = Link(latency=0.0, bandwidth=100.0)
+        a.connect(b, link)
+        a.inject_fault(b, FaultInjector(drop_nth=frozenset({0})))
+        a._send(b, NetMessage("block", None, 200))   # dropped
+        assert link._busy_until > 0                  # NIC time was spent
+        busy_after_drop = link._busy_until
+        a._send(b, NetMessage("block", None, 200))   # delivered
+        assert link._busy_until > busy_after_drop
+
+
+class TestStrictShortIdRequests:
+    def test_malformed_length_raises(self):
+        sc = make_block_scenario(n=20, extra=0, fraction=1.0, seed=88)
+        sender = GrapheneSenderEngine(sc.block)
+        good = sc.block.txs[3].short_id().to_bytes(8, "little")
+        with pytest.raises(ParameterError):
+            sender.on_shortid_request(good + b"\x01")  # trailing byte
+
+    def test_whole_multiples_still_served(self):
+        sc = make_block_scenario(n=20, extra=0, fraction=1.0, seed=88)
+        sender = GrapheneSenderEngine(sc.block)
+        wanted = b"".join(tx.short_id().to_bytes(8, "little")
+                          for tx in sc.block.txs[:3])
+        from repro.codec import decode_tx_list
+        txs, _ = decode_tx_list(sender.on_shortid_request(wanted).message)
+        assert len(txs) == 3
+
+
+class TestEngineRecoveryHooks:
+    def test_reemit_repeats_last_request_and_charges_bytes(self):
+        sc = make_block_scenario(n=50, extra=50, fraction=1.0, seed=3)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        first = receiver.start()
+        sent_before = receiver.bytes_sent
+        again = receiver.reemit_last_request()
+        assert again.command == first.command
+        assert again.message == first.message
+        assert again.event.parts == first.event.parts
+        assert again.event.outcome == "retry"
+        assert receiver.bytes_sent == sent_before + len(first.message)
+
+    def test_note_timeout_is_zero_byte_event(self):
+        sc = make_block_scenario(n=50, extra=50, fraction=1.0, seed=3)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        receiver.start()
+        receiver.note_timeout()
+        event = receiver.telemetry[-1]
+        assert event.outcome == "timeout"
+        assert event.wire_bytes == 0
+
+    def test_reemit_before_any_request_raises(self):
+        sc = make_block_scenario(n=50, extra=50, fraction=1.0, seed=3)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        with pytest.raises(ProtocolFailure):
+            receiver.reemit_last_request()
+
+    def test_accepts_tracks_phase(self):
+        sc = make_block_scenario(n=50, extra=50, fraction=1.0, seed=3)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool)
+        assert not receiver.accepts("graphene_block")  # IDLE
+        receiver.start()
+        assert receiver.accepts("graphene_block")      # WAIT_P1
+        assert not receiver.accepts("graphene_p2_response")
+
+
+class TestRetryLadder:
+    def test_lost_p1_payload_recovered_by_retry(self):
+        # a -> b stream: inv (0), graphene_block (1).  Drop the P1
+        # payload once; the receiver's timer must re-request it.
+        fault = FaultInjector(drop_nth=frozenset({1}))
+        sim, a, b, sc = _graphene_pair(fault=fault)
+        a.mine_block(sc.block)
+        sim.run()
+        root = sc.block.header.merkle_root
+        assert root in b.blocks
+        assert b.relay_timeouts == 1
+        assert b.relay_retries == 1
+        outcomes = [e.outcome for e in b.relay_telemetry[root]]
+        assert "timeout" in outcomes and "retry" in outcomes
+        # Retry charged its bytes: two getdata events in the stream.
+        cost = CostBreakdown.from_events(b.relay_telemetry[root])
+        assert cost.getdata > 0
+
+    def test_lost_getdata_recovered_by_retry(self):
+        # b -> a stream: getdata is message 0.
+        sim, a, b, sc = _graphene_pair()
+        b.inject_fault(a, FaultInjector(drop_nth=frozenset({0})))
+        a.mine_block(sc.block)
+        sim.run()
+        assert sc.block.header.merkle_root in b.blocks
+        assert b.relay_retries == 1
+
+    def test_engine_blackout_escalates_to_full_block(self):
+        # Every engine payload from a is lost, but full blocks pass:
+        # the ladder must climb to rung 2 and deliver.
+        fault = FaultInjector(drop_commands=frozenset({"graphene_block"}))
+        sim, a, b, sc = _graphene_pair(fault=fault)
+        a.mine_block(sc.block)
+        sim.run()
+        root = sc.block.header.merkle_root
+        assert root in b.blocks
+        assert b.relay_timeouts > b.recovery.max_retries  # climbed rung 1
+        assert root not in b._rx_engines
+        assert root not in b._block_recovery
+
+    def test_dead_peer_fails_over_to_alternate_announcer(self):
+        sc = make_block_scenario(n=100, extra=100, fraction=1.0, seed=7)
+        sim = Simulator()
+        a, b, c = Node("a", sim), Node("b", sim), Node("c", sim)
+        a.connect(b)
+        a.connect(c)
+        b.connect(c)
+        for node in (b, c):
+            node.mempool.add_many(sc.receiver_mempool.transactions())
+        # a's inv reaches c but every block payload a -> c is lost;
+        # b (which hears the inv over a clean link) is the alternate.
+        a.inject_fault(c, FaultInjector(
+            drop_commands=frozenset({"graphene_block", "block"})))
+        a.mine_block(sc.block)
+        sim.run()
+        root = sc.block.header.merkle_root
+        assert root in c.blocks
+        assert c.relay_timeouts > 0
+        assert root not in c._rx_engines
+        assert root not in c._block_recovery
+
+    def test_total_blackout_abandons_and_new_inv_restarts(self):
+        fault = FaultInjector(
+            drop_commands=frozenset({"graphene_block", "block"}))
+        sim, a, b, sc = _graphene_pair(fault=fault)
+        a.mine_block(sc.block)
+        sim.run()
+        root = sc.block.header.merkle_root
+        assert root not in b.blocks           # sole announcer was dead
+        assert root not in b._rx_engines      # ...but nothing stranded
+        assert root not in b._block_recovery
+        assert root not in b._block_sources
+        # The link heals and a re-announces: the fetch starts over.
+        a.peers[b].fault = None
+        a._send(b, NetMessage("inv", ("block", root), 37))
+        sim.run()
+        assert root in b.blocks
+
+    def test_retry_trail_is_bounded_by_policy(self):
+        fault = FaultInjector(
+            drop_commands=frozenset({"graphene_block", "block"}))
+        policy = RecoveryPolicy(timeout_base=0.5, max_retries=2)
+        sim, a, b, sc = _graphene_pair(fault=fault, recovery=policy)
+        a.mine_block(sc.block)
+        sim.run()
+        # Two rungs (engine, fullblock), each max_retries resends plus
+        # the timeout that moves past the rung.
+        assert b.relay_retries <= 2 * policy.max_retries
+        assert b.relay_timeouts <= 2 * (policy.max_retries + 1)
+
+
+class TestStaleStateGC:
+    def test_block_via_other_path_cancels_recovery(self, txgen):
+        # b is mid-fetch from a (stalled); the full block then arrives
+        # from c.  All fetch state must be evicted and no timeout fire.
+        txs = txgen.make_batch(80)
+        block = Block.assemble(txs)
+        root = block.header.merkle_root
+        sim = Simulator()
+        a, b, c = Node("a", sim), Node("b", sim), Node("c", sim)
+        a.connect(b)
+        b.connect(c)
+        b.mempool.add_many(txs)
+        a.inject_fault(b, FaultInjector(
+            drop_commands=frozenset({"graphene_block"})))
+        a.blocks[root] = block  # a can serve but its payloads are lost
+        a._send(b, NetMessage("inv", ("block", root), 37))
+        sim.run(until=0.5)      # inv + getdata flow; P1 payload lost
+        assert root in b._rx_engines
+        assert root in b._block_recovery
+        c.blocks[root] = block
+        c._send(b, NetMessage("block", block, block.serialized_size()))
+        sim.run()
+        assert root in b.blocks
+        assert root not in b._rx_engines
+        assert root not in b._block_recovery
+        assert root not in b._block_sources
+        assert b.relay_timeouts == 0  # timer was cancelled, never fired
+
+    def test_serving_engines_bounded(self, txgen):
+        sim = Simulator()
+        a, b = Node("a", sim), Node("b", sim)
+        a.recovery = RecoveryPolicy(serving_cap=2)
+        a.connect(b)
+        for batch in range(4):
+            txs = txgen.make_batch(10)
+            for node in (a, b):
+                node.mempool.add_many(txs)
+            a.mine_block(Block.assemble(txs))
+            sim.run()
+        assert len(a._tx_engines) <= 2
+        assert len(b.blocks) == 4
+
+    def test_zero_loss_run_identical_with_recovery_disabled(self):
+        results = []
+        for policy in (RecoveryPolicy(), RecoveryPolicy(enabled=False)):
+            sc = make_block_scenario(n=120, extra=120, fraction=0.5,
+                                     seed=3)
+            sim = Simulator()
+            a = Node("a", sim, recovery=policy)
+            b = Node("b", sim, recovery=policy)
+            a.connect(b)
+            b.mempool.add_many(sc.receiver_mempool.transactions())
+            a.mine_block(sc.block)
+            sim.run()
+            root = sc.block.header.merkle_root
+            cost = CostBreakdown.from_events(b.relay_telemetry[root])
+            results.append((sim.now, a.total_bytes_sent(),
+                            b.total_bytes_sent(), cost.as_dict()))
+        assert results[0] == results[1]
+
+
+class TestSyncRecovery:
+    def test_lost_sync_round_recovered_by_retry(self):
+        sc = make_sync_scenario(n=300, fraction_common=0.7, seed=5)
+        sim = Simulator()
+        a, b = Node("a", sim), Node("b", sim)
+        a.connect(b)
+        a.mempool.add_many(sc.sender_mempool.transactions())
+        b.mempool.add_many(sc.receiver_mempool.transactions())
+        a.inject_fault(b, FaultInjector(drop_nth=frozenset({0})))
+        union = ({t.txid for t in a.mempool} | {t.txid for t in b.mempool})
+        nonce = b.initiate_mempool_sync(a)
+        sim.run()
+        state = b.sync_result(nonce)
+        assert state.succeeded
+        assert b.relay_retries == 1
+        assert {t.txid for t in b.mempool} == union
+        outcomes = [e.outcome for e in state.events]
+        assert "timeout" in outcomes and "retry" in outcomes
+
+    def test_dead_responder_abandons_sync(self):
+        sc = make_sync_scenario(n=200, fraction_common=0.7, seed=5)
+        sim = Simulator()
+        a, b = Node("a", sim), Node("b", sim)
+        a.connect(b)
+        a.mempool.add_many(sc.sender_mempool.transactions())
+        a.inject_fault(b, FaultInjector(
+            drop_commands=frozenset({"mempool_sync_p1"})))
+        nonce = b.initiate_mempool_sync(a)
+        sim.run()
+        state = b.sync_result(nonce)
+        assert state.done and not state.succeeded
+        assert b.relay_timeouts == b.recovery.max_retries + 1
+
+
+class TestChaosTopology:
+    """Acceptance: 20 Graphene nodes, 5% per-link loss, all converge."""
+
+    def test_twenty_node_lossy_topology_converges(self):
+        sc = make_block_scenario(n=200, extra=200, fraction=1.0, seed=42)
+        sim = Simulator()
+        nodes = [Node(f"n{i:02d}", sim) for i in range(20)]
+        connect_random_regular(nodes, degree=4, rng=random.Random(2024),
+                               loss_rate=0.05)
+        for node in nodes[1:]:
+            node.mempool.add_many(sc.receiver_mempool.transactions())
+        nodes[0].mine_block(sc.block)
+        sim.run(until=120.0)
+        root = sc.block.header.merkle_root
+        missing = [n.node_id for n in nodes if root not in n.blocks]
+        assert missing == []
+        # The loss actually bit and recovery visibly repaired it.
+        assert sum(n.relay_timeouts for n in nodes) > 0
+        recovery_events = [
+            e for n in nodes if root in n.relay_telemetry
+            for e in n.relay_telemetry[root]
+            if e.outcome in ("timeout", "retry")]
+        assert recovery_events
+        # And nothing was left stranded anywhere.
+        assert sum(len(n._rx_engines) for n in nodes) == 0
+        assert sum(len(n._block_recovery) for n in nodes) == 0
+        assert sum(len(n._block_sources) for n in nodes) == 0
