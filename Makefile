@@ -1,17 +1,25 @@
 # Entry points for the Graphene reproduction. `make ci` is the gate a
-# commit must pass: the tier-1 test suite, the PDS perf guard, and the
-# end-to-end network smoke test.
+# commit must pass: the tier-1 test suite, the PDS perf guard, the
+# end-to-end network smoke test plus its run-report invariants, and the
+# executable-docs check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf perf-check perf-update bench smoke ci
+.PHONY: test perf perf-check perf-update bench smoke report-check \
+	docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) scripts/smoke_net.py
+
+report-check: smoke
+	$(PYTHON) scripts/check_run_report.py
+
+docs-check:
+	$(PYTHON) scripts/check_docs_snippets.py
 
 perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_pds.py --benchmark-only -q
@@ -25,4 +33,4 @@ perf-update:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check smoke
+ci: test perf-check report-check docs-check

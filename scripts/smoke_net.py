@@ -12,17 +12,24 @@ wiring hold together outside the unit-test harness:
 * a mempool sync over the wire converges two diverged pools;
 * a 20-node Graphene topology with 5% loss on every link converges
   through the recovery ladder (timeouts/retries visible, no stranded
-  fetch state).
+  fetch state), and the metrics registry folded from its telemetry
+  agrees part-for-part with ``CostBreakdown.from_events``.
 
-Exits nonzero (with a message) on the first violated invariant.
+Every check is recorded as a named invariant in a
+:class:`~repro.obs.report.RunReport` written to
+``results/run_report.json`` (see ``scripts/check_run_report.py``), so
+CI catches *accounting drift* -- double-charged retries, a simulator
+that diverges from the loopback costs -- not just crashes.  The script
+exits nonzero if any invariant failed.
 
 Usage::
 
-    python scripts/smoke_net.py
+    python scripts/smoke_net.py [--report PATH]
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 import sys
 from pathlib import Path
@@ -41,11 +48,15 @@ from repro.net import (
     connect_line,
     connect_random_regular,
 )
+from repro.obs import (
+    RunReport,
+    check_cost_parity,
+    check_metrics_match_costs,
+    check_stream_invariants,
+    collect_run_metrics,
+)
 
-
-def fail(message: str) -> None:
-    print(f"SMOKE FAIL: {message}")
-    sys.exit(1)
+DEFAULT_REPORT = REPO / "results" / "run_report.json"
 
 
 def build_network(protocol: RelayProtocol, scenario):
@@ -63,34 +74,48 @@ def build_network(protocol: RelayProtocol, scenario):
     return sim, nodes
 
 
-def smoke_relay(protocol: RelayProtocol) -> None:
+def smoke_relay(protocol: RelayProtocol, report: RunReport) -> None:
     scenario = make_block_scenario(n=120, extra=120, fraction=1.0, seed=7)
     sim, nodes = build_network(protocol, scenario)
     nodes[0].mine_block(scenario.block)
     sim.run()
     root = scenario.block.header.merkle_root
     missing = [n.node_id for n in nodes if root not in n.blocks]
-    if missing:
-        fail(f"{protocol.value}: block did not reach {missing}")
-    print(f"ok: {protocol.value} block reached all 5 nodes "
-          f"in {sim.now:.3f}s simulated")
+    if report.check(f"{protocol.value}_line_coverage", not missing,
+                    f"missing: {missing}" if missing
+                    else f"5/5 nodes in {sim.now:.3f}s simulated"):
+        print(f"ok: {protocol.value} block reached all 5 nodes "
+              f"in {sim.now:.3f}s simulated")
+    else:
+        print(f"FAIL: {protocol.value} block did not reach {missing}")
 
-    if protocol is RelayProtocol.GRAPHENE:
-        reference = make_block_scenario(n=120, extra=120, fraction=1.0,
-                                        seed=7)
-        outcome = BlockRelaySession().relay(reference.block,
-                                            reference.receiver_mempool)
-        for node in nodes[1:]:
-            sim_cost = CostBreakdown.from_events(node.relay_telemetry[root])
-            if sim_cost.as_dict() != outcome.cost.as_dict():
-                fail(f"telemetry mismatch at {node.node_id}: "
-                     f"{sim_cost.as_dict()} != {outcome.cost.as_dict()}")
+    if protocol is not RelayProtocol.GRAPHENE:
+        return
+    # Byte conservation: fold each receiver's simulated telemetry and
+    # compare with the loopback session on an identical scenario.
+    reference = make_block_scenario(n=120, extra=120, fraction=1.0, seed=7)
+    outcome = BlockRelaySession().relay(reference.block,
+                                        reference.receiver_mempool)
+    parity_ok = True
+    for node in nodes[1:]:
+        sim_cost = CostBreakdown.from_events(node.relay_telemetry[root])
+        inv = check_cost_parity(f"loopback_parity_{node.node_id}",
+                                outcome.cost, sim_cost)
+        report.invariants.append(inv)
+        parity_ok &= inv.ok
+    report.extend(check_stream_invariants(
+        {(n.node_id, root): n.relay_telemetry[root] for n in nodes[1:]},
+        prefix="line_relay"))
+    if parity_ok:
         print(f"ok: loopback/simulator cost parity at all receivers "
               f"({outcome.total_bytes} bytes vs "
               f"{reference.block.serialized_size()} full block)")
+    else:
+        print("FAIL: loopback/simulator cost parity violated "
+              "(see run report)")
 
 
-def smoke_mempool_sync() -> None:
+def smoke_mempool_sync(report: RunReport) -> None:
     scenario = make_sync_scenario(n=400, fraction_common=0.7, seed=5)
     sim = Simulator()
     a = Node("a", sim)
@@ -102,53 +127,80 @@ def smoke_mempool_sync() -> None:
     nonce = b.initiate_mempool_sync(a)
     sim.run()
     state = b.sync_result(nonce)
-    if state is None or not state.succeeded:
-        fail("mempool sync did not succeed")
-    if {t.txid for t in a.mempool} != union:
-        fail("responder mempool is not the union after sync")
-    if {t.txid for t in b.mempool} != union:
-        fail("initiator mempool is not the union after sync")
-    print(f"ok: mempool sync converged both pools to {len(union)} txns")
+    succeeded = state is not None and state.succeeded
+    converged = (succeeded
+                 and {t.txid for t in a.mempool} == union
+                 and {t.txid for t in b.mempool} == union)
+    if report.check("mempool_sync_converges", converged,
+                    f"both pools hold the union of {len(union)} txns"
+                    if converged else "pools diverged after sync"):
+        print(f"ok: mempool sync converged both pools to {len(union)} txns")
+    else:
+        print("FAIL: mempool sync did not converge")
+    if succeeded:
+        report.extend(check_stream_invariants({nonce: state.events},
+                                              prefix="sync"))
 
 
-def smoke_chaos() -> None:
+def smoke_chaos(report: RunReport) -> None:
     """20 Graphene nodes, every link 5% lossy: recovery must win."""
-    scenario = make_block_scenario(n=200, extra=200, fraction=1.0, seed=42)
-    sim = Simulator()
-    nodes = [Node(f"n{i:02d}", sim) for i in range(20)]
-    connect_random_regular(nodes, degree=4, rng=random.Random(2024),
-                           loss_rate=0.05)
-    for node in nodes[1:]:
-        node.mempool.add_many(scenario.receiver_mempool.transactions())
-    nodes[0].mine_block(scenario.block)
-    sim.run(until=120.0)
-    root = scenario.block.header.merkle_root
-    missing = [n.node_id for n in nodes if root not in n.blocks]
-    if missing:
-        fail(f"chaos: block did not reach {missing}")
+    from repro.obs import run_block_relay_scenario
+    run = run_block_relay_scenario(nodes=20, degree=4, block_size=200,
+                                   extra=200, loss=0.05, seed=2024,
+                                   until=120.0)
+    nodes, root = run.nodes, run.root
+    report.check("chaos_coverage", run.covered == 20,
+                 f"{run.covered}/20 nodes hold the block")
     timeouts = sum(n.relay_timeouts for n in nodes)
     retries = sum(n.relay_retries for n in nodes)
-    if timeouts == 0:
-        fail("chaos: the loss never bit -- scenario is not exercising "
-             "recovery, repin the seeds")
+    report.check("chaos_loss_bites", timeouts > 0,
+                 f"{timeouts} timeouts, {retries} retries"
+                 if timeouts else "the loss never bit -- scenario is not "
+                 "exercising recovery, repin the seeds")
     stranded = (sum(len(n._rx_engines) for n in nodes)
                 + sum(len(n._block_recovery) for n in nodes)
                 + sum(len(n._block_sources) for n in nodes))
-    if stranded:
-        fail(f"chaos: {stranded} stale fetch-state entries left behind")
-    last_arrival = max(n.block_arrival[root] for n in nodes)
-    print(f"ok: chaos 20 nodes @ 5% loss converged in {last_arrival:.3f}s "
-          f"simulated ({timeouts} timeouts, {retries} retries, "
-          f"no stranded state)")
+    report.check("chaos_no_stranded_state", stranded == 0,
+                 f"{stranded} stale fetch-state entries left behind")
+    # Accounting: the metrics fold must equal CostBreakdown.from_events
+    # over the same streams, and retries must recharge honest bytes.
+    registry = collect_run_metrics(nodes, tracer=run.tracer)
+    streams = run.relay_streams()
+    report.extend(check_stream_invariants(streams, prefix="relay"))
+    report.invariants.append(
+        check_metrics_match_costs(registry, streams, prefix="relay"))
+    report.add_metrics(registry)
+    if run.covered == 20 and not stranded and timeouts:
+        last_arrival = max(n.block_arrival[root] for n in nodes)
+        print(f"ok: chaos 20 nodes @ 5% loss converged in "
+              f"{last_arrival:.3f}s simulated ({timeouts} timeouts, "
+              f"{retries} retries, no stranded state)")
+    else:
+        print("FAIL: chaos run violated an invariant (see run report)")
 
 
-def main() -> None:
-    smoke_relay(RelayProtocol.GRAPHENE)
-    smoke_relay(RelayProtocol.COMPACT_BLOCKS)
-    smoke_mempool_sync()
-    smoke_chaos()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=Path, default=DEFAULT_REPORT,
+                        help="where to write the run report JSON")
+    args = parser.parse_args(argv)
+
+    report = RunReport(name="smoke_net",
+                       context={"seed_chaos": 2024, "loss_chaos": 0.05})
+    smoke_relay(RelayProtocol.GRAPHENE, report)
+    smoke_relay(RelayProtocol.COMPACT_BLOCKS, report)
+    smoke_mempool_sync(report)
+    smoke_chaos(report)
+    path = report.write(args.report)
+    print(f"run report: {len(report.invariants)} invariants, "
+          f"{len(report.failed)} failed -> {path}")
+    if not report.ok:
+        for inv in report.failed:
+            print(f"SMOKE FAIL: {inv.name}: {inv.detail}")
+        return 1
     print("smoke: all invariants held")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -8,6 +8,9 @@ Subcommands cover the workflows a user reaches for first:
 * ``experiment``  -- run one figure's experiment driver, print its rows.
 * ``attack``      -- run the section 6.1 collision attack summary.
 * ``netsim``      -- propagate a block across a simulated network.
+* ``trace``       -- netsim with a tracer attached; print the span timeline.
+* ``report``      -- netsim with metrics collection; print byte/outcome
+  tables and check the accounting invariants.
 """
 
 from __future__ import annotations
@@ -157,6 +160,97 @@ def _cmd_netsim(args) -> int:
     return 0 if covered == args.nodes else 1
 
 
+def _observed_run(args):
+    from repro.net import RelayProtocol
+    from repro.obs import run_block_relay_scenario
+    return run_block_relay_scenario(
+        nodes=args.nodes, degree=args.degree, block_size=args.block_size,
+        loss=args.loss, seed=args.seed,
+        protocol=RelayProtocol(args.protocol), until=args.until,
+        sync_rounds=args.sync_rounds)
+
+
+def _cmd_trace(args) -> int:
+    run = _observed_run(args)
+    tracer = run.tracer
+    print(f"{args.protocol}: {run.covered}/{args.nodes} nodes hold the "
+          f"block after {run.simulator.now:.3f}s simulated; "
+          f"{len(tracer.spans())} spans")
+    print(tracer.timeline(events=not args.summary, kind=args.kind,
+                          limit=args.limit))
+    if args.jsonl:
+        from pathlib import Path
+        path = Path(args.jsonl)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        jsonl = tracer.to_jsonl(kind=args.kind)
+        path.write_text(jsonl)
+        print(f"wrote {len(jsonl.splitlines())} spans to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import (
+        RunReport,
+        check_metrics_match_costs,
+        check_stream_invariants,
+        collect_run_metrics,
+        render_byte_table,
+        render_outcome_table,
+    )
+    run = _observed_run(args)
+    registry = collect_run_metrics(run.nodes, tracer=run.tracer)
+    streams = run.relay_streams()
+    report = RunReport(
+        name="cli-report",
+        context={"nodes": args.nodes, "degree": args.degree,
+                 "loss": args.loss, "seed": args.seed,
+                 "protocol": args.protocol,
+                 "simulated_seconds": run.simulator.now})
+    report.check("block_coverage", run.covered == args.nodes,
+                 f"{run.covered}/{args.nodes} nodes hold the block")
+    report.extend(check_stream_invariants(streams, prefix="relay"))
+    report.invariants.append(
+        check_metrics_match_costs(registry, streams, prefix="relay"))
+    report.add_metrics(registry)
+
+    print(f"{args.protocol}: {run.covered}/{args.nodes} nodes in "
+          f"{run.simulator.now:.3f}s simulated "
+          f"({int(registry.sum('relay_timeouts'))} timeouts, "
+          f"{int(registry.sum('relay_retries'))} retries, decode success "
+          f"rate {registry.sum('decode_success_rate'):.2f})")
+    print("\nrelay bytes by phase (per receiving node):")
+    print(render_byte_table(registry, prefix="relay"))
+    print("\nrelay outcomes (count/bytes):")
+    print(render_outcome_table(registry, prefix="relay"))
+    if args.sync_rounds:
+        print("\nmempool sync bytes by phase (per initiator):")
+        print(render_byte_table(registry, prefix="sync"))
+    print("\ninvariants:")
+    for inv in report.invariants:
+        status = "ok  " if inv.ok else "FAIL"
+        print(f"  {status} {inv.name}: {inv.detail}")
+    if args.json:
+        path = report.write(args.json)
+        print(f"\nwrote report to {path}")
+    return 0 if report.ok else 1
+
+
+def _add_scenario_args(parser) -> None:
+    """Shared knobs for the observed-run commands (trace, report)."""
+    parser.add_argument("--nodes", type=int, default=20)
+    parser.add_argument("--degree", type=int, default=4)
+    parser.add_argument("--block-size", type=int, default=200)
+    parser.add_argument("--loss", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--protocol", default="graphene",
+                        choices=[p.value for p in __import__(
+                            "repro.net.node", fromlist=["RelayProtocol"]
+                        ).RelayProtocol])
+    parser.add_argument("--until", type=float, default=120.0)
+    parser.add_argument("--sync-rounds", type=int, default=0,
+                        help="post-relay mempool syncs to run and observe")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -216,6 +310,28 @@ def build_parser() -> argparse.ArgumentParser:
                         ).RelayProtocol])
     netsim.add_argument("--seed", type=int, default=0)
     netsim.set_defaults(func=_cmd_netsim)
+
+    trace = sub.add_parser("trace",
+                           help="simulated relay with a span timeline")
+    _add_scenario_args(trace)
+    trace.add_argument("--kind", default=None,
+                       choices=["relay", "serve", "sync", "sync-serve"],
+                       help="only show spans of this kind")
+    trace.add_argument("--summary", action="store_true",
+                       help="one line per span, no per-message detail")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="show only the first N spans")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also export spans as JSONL to PATH")
+    trace.set_defaults(func=_cmd_trace)
+
+    report = sub.add_parser("report",
+                            help="simulated relay with metrics tables "
+                                 "and accounting invariants")
+    _add_scenario_args(report)
+    report.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full run report to PATH")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 

@@ -163,11 +163,16 @@ class GrapheneSenderEngine:
     Pass ``block`` for block relay; pass ``txs`` (a transaction list,
     typically a mempool snapshot) for mempool synchronization, where
     there is no header to prefix and no coinbase to prefill.
+
+    ``telemetry`` collects a :class:`MessageEvent` per served message;
+    pass a shared (or traced, see :mod:`repro.obs.trace`) list to
+    observe the serving side of an exchange externally.
     """
 
     def __init__(self, block: Optional[Block] = None,
                  config: Optional[GrapheneConfig] = None,
-                 txs: Optional[list] = None):
+                 txs: Optional[list] = None,
+                 telemetry: Optional[list] = None):
         if (block is None) == (txs is None):
             raise ParameterError(
                 "exactly one of block= or txs= must be provided")
@@ -175,7 +180,7 @@ class GrapheneSenderEngine:
         self.txs = list(block.txs) if block is not None else list(txs)
         self.mempool_mode = block is None
         self.config = config or GrapheneConfig()
-        self.telemetry: list = []
+        self.telemetry = telemetry if telemetry is not None else []
 
     def _emit(self, command: str, message: bytes, phase: str,
               roundtrip: int, parts: dict) -> EngineAction:

@@ -81,6 +81,19 @@ class MessageEvent:
         """Total bytes this message is accounted at on the wire."""
         return sum(self.parts.values())
 
+    def as_dict(self) -> dict:
+        """A plain-JSON view (trace/JSONL export, ``repro.obs``)."""
+        return {
+            "command": self.command,
+            "direction": self.direction,
+            "role": self.role,
+            "phase": self.phase,
+            "roundtrip": self.roundtrip,
+            "outcome": self.outcome,
+            "parts": dict(self.parts),
+            "bytes": self.wire_bytes,
+        }
+
 
 def total_wire_bytes(events, include_txs: bool = False) -> int:
     """Sum of event wire bytes, with the paper's default accounting.

@@ -103,7 +103,8 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
                  protocol: RelayProtocol = RelayProtocol.GRAPHENE,
                  config: Optional[GrapheneConfig] = None,
                  trickle_interval: float = 0.0,
-                 recovery: Optional[RecoveryPolicy] = None):
+                 recovery: Optional[RecoveryPolicy] = None,
+                 tracer=None):
         if not node_id:
             raise ParameterError("node_id must be non-empty")
         if trickle_interval < 0:
@@ -114,6 +115,13 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         self.protocol = protocol
         self.config = config or GrapheneConfig()
         self.recovery = recovery or RecoveryPolicy()
+        #: Optional :class:`~repro.obs.trace.Tracer`.  When set (here or
+        #: via ``Tracer.attach``), telemetry streams are created through
+        #: it so every event gets a simulator-clock timestamp, and span
+        #: marks (done / escalate / failover / abandon) are emitted at
+        #: exchange lifecycle points.  A pure observer: traced runs are
+        #: byte- and clock-identical to untraced ones.
+        self.tracer = tracer
         #: Bitcoin-style inv trickling: queue announcements per peer and
         #: flush them in batches every ``trickle_interval`` seconds
         #: (0 = announce immediately).  Trickling is why mempools lag
@@ -149,6 +157,21 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         self.relay_failures = 0
         self.relay_retries = 0
         self.relay_timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Observability (see repro.obs)
+    # ------------------------------------------------------------------
+
+    def _telemetry_stream(self, kind: str, key) -> list:
+        """A telemetry list for one exchange, traced when a tracer is set."""
+        if self.tracer is None:
+            return []
+        return self.tracer.stream(self.node_id, kind, key)
+
+    def _trace_mark(self, kind: str, key, name: str, **detail) -> None:
+        """Annotate an exchange span (no-op without a tracer)."""
+        if self.tracer is not None:
+            self.tracer.mark(self.node_id, kind, key, name, **detail)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -247,6 +270,9 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
             return
         self.blocks[root] = block
         self.block_arrival[root] = self.simulator.now
+        if root in self.relay_telemetry:
+            self._trace_mark("relay", root, "done",
+                             origin=origin.node_id if origin else "mined")
         self.mempool.remove_block(block.txids)
         # The block is here -- however it got here.  Cancel any pending
         # recovery ladder and evict every bit of in-flight fetch state
@@ -324,7 +350,10 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         if self.protocol is RelayProtocol.GRAPHENE:
             # Spin up a receiver engine; the getdata carries m (the
             # engine's own start message, paper Fig. 2).
-            stream = self.relay_telemetry.setdefault(root, [])
+            stream = self.relay_telemetry.get(root)
+            if stream is None:
+                stream = self._telemetry_stream("relay", root)
+                self.relay_telemetry[root] = stream
             prune_oldest(self.relay_telemetry, self.recovery.telemetry_cap)
             engine = GrapheneReceiverEngine(self.mempool, self.config,
                                             telemetry=stream)
@@ -426,7 +455,9 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         if proto is RelayProtocol.GRAPHENE:
             engine = self._tx_engines.get(root)
             if engine is None:
-                engine = GrapheneSenderEngine(block, self.config)
+                engine = GrapheneSenderEngine(
+                    block, self.config,
+                    telemetry=self._telemetry_stream("serve", root))
                 self._tx_engines[root] = engine
                 # Serving engines are stateless per request; retain a
                 # bounded working set of recent roots (a peer whose
@@ -508,6 +539,8 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
     def _fallback_full_block(self, sender: "Node", root: bytes) -> None:
         """Decode failure: request the whole block, with recovery armed."""
         self.relay_failures += 1
+        self._trace_mark("relay", root, "escalate", why="decode_failed",
+                         peer=sender.node_id)
         state = self._block_recovery.get(root)
         if state is not None:
             state.peer = sender

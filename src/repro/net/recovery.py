@@ -31,7 +31,10 @@ telemetry stream (retries carry the resent byte decomposition, so
 :meth:`CostBreakdown.from_events
 <repro.core.sizing.CostBreakdown.from_events>` charges them honestly)
 and bump the node's ``relay_timeouts`` / ``relay_retries`` counters
-next to ``relay_failures``.
+next to ``relay_failures``.  With a :class:`~repro.obs.trace.Tracer`
+attached, ladder transitions additionally mark the exchange's span
+(``escalate`` / ``failover`` / ``abandon``) so a trace timeline shows
+*why* a fetch moved between rungs, not just that bytes were re-spent.
 """
 
 from __future__ import annotations
@@ -170,6 +173,8 @@ class RelayRecoveryMixin:
             logger.info("%s: fetch of %s from %s stalled; escalating to "
                         "full block", self.node_id, root.hex()[:12],
                         state.peer.node_id)
+            self._trace_mark("relay", root, "escalate", why="timeout",
+                             peer=state.peer.node_id)
             state.stage = STAGE_FULLBLOCK
             state.attempts = 0
             self._rx_engines.pop(root, None)
@@ -187,6 +192,7 @@ class RelayRecoveryMixin:
             return
         logger.info("%s: failing over fetch of %s to %s", self.node_id,
                     root.hex()[:12], alternate.node_id)
+        self._trace_mark("relay", root, "failover", to=alternate.node_id)
         state.peer = alternate
         state.stage = self._initial_stage()
         state.attempts = 0
@@ -208,6 +214,7 @@ class RelayRecoveryMixin:
         logger.warning("%s: abandoning fetch of %s (every announcer "
                        "exhausted); a fresh inv will restart it",
                        self.node_id, root.hex()[:12])
+        self._trace_mark("relay", root, "abandon")
         self._gc_block_state(root)
 
     # -- telemetry ------------------------------------------------------

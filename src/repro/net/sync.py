@@ -116,8 +116,9 @@ class MempoolSyncMixin:
             raise ParameterError(
                 f"{self.node_id} is not peered with {peer.node_id}")
         nonce = self._next_sync_nonce()
-        engine = GrapheneReceiverEngine(self.mempool, self.config,
-                                        mode="mempool")
+        engine = GrapheneReceiverEngine(
+            self.mempool, self.config, mode="mempool",
+            telemetry=self._telemetry_stream("sync", nonce))
         state = SyncState(nonce=nonce, peer_id=peer.node_id, engine=engine,
                           peer=peer)
         self._sync_sessions[nonce] = state
@@ -148,7 +149,8 @@ class MempoolSyncMixin:
             if step != "getdata":
                 return  # late message for a finished or unknown sync
             engine = GrapheneSenderEngine(
-                txs=self.mempool.transactions(), config=self.config)
+                txs=self.mempool.transactions(), config=self.config,
+                telemetry=self._telemetry_stream("sync-serve", nonce))
             self._sync_serving[key] = engine
             # A lost sync_push would leak this engine forever; retain a
             # bounded working set instead (evicted syncs restart via
@@ -197,6 +199,7 @@ class MempoolSyncMixin:
             return
         logger.info("mempool sync %d with %s failed to decode",
                     state.nonce, state.peer_id)
+        self._trace_mark("sync", state.nonce, "failed", why="decode")
         state.done = True
 
     # -- recovery (timeout ladder for lost sync rounds) -----------------
@@ -227,6 +230,8 @@ class MempoolSyncMixin:
                 or state.peer not in self.peers):
             logger.info("mempool sync %d with %s abandoned after %d "
                         "resends", nonce, state.peer_id, state.attempts)
+            self._trace_mark("sync", nonce, "abandon",
+                             attempts=state.attempts)
             state.done = True
             self._cancel_sync_timer(state)
             return
@@ -255,6 +260,7 @@ class MempoolSyncMixin:
                                     nbytes, event=event))
         state.done = True
         state.succeeded = True
+        self._trace_mark("sync", state.nonce, "done", pushed=len(h_txs))
         logger.debug("mempool sync %d with %s complete: pushed %d txns",
                      state.nonce, state.peer_id, len(h_txs))
 

@@ -1,0 +1,83 @@
+"""Canned observed simulation runs shared by the CLI and smoke tests.
+
+``python -m repro trace`` / ``report`` and the smoke test's chaos stage
+all need the same thing: a reproducible multi-node lossy run with a
+:class:`~repro.obs.trace.Tracer` attached and the per-node telemetry
+retained for folding.  This module is that one scenario builder, so the
+timeline a user reads and the invariants CI checks come from identical
+runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.chain.scenarios import make_block_scenario
+from repro.net import Node, RelayProtocol, Simulator, connect_random_regular
+from repro.obs.trace import Tracer
+
+
+@dataclass
+class ObservedRun:
+    """A finished simulation plus everything observability needs."""
+
+    simulator: Simulator
+    nodes: List[Node]
+    tracer: Optional[Tracer]
+    block: object
+    root: bytes
+
+    @property
+    def covered(self) -> int:
+        """Nodes holding the block at the end of the run."""
+        return sum(1 for node in self.nodes if self.root in node.blocks)
+
+    def relay_streams(self) -> dict:
+        """Every per-relay telemetry stream, keyed by (node_id, root)."""
+        return {(node.node_id, root): events
+                for node in self.nodes
+                for root, events in node.relay_telemetry.items()}
+
+
+def run_block_relay_scenario(nodes: int = 20, degree: int = 4,
+                             block_size: int = 200, extra: int = 200,
+                             loss: float = 0.05, seed: int = 2024,
+                             latency: float = 0.05,
+                             bandwidth: float = 1_000_000.0,
+                             protocol: RelayProtocol = RelayProtocol.GRAPHENE,
+                             trace: bool = True,
+                             until: Optional[float] = 120.0,
+                             sync_rounds: int = 0) -> ObservedRun:
+    """Propagate one block across a lossy random-regular topology.
+
+    The default parameters reproduce the smoke test's chaos scenario
+    (20 Graphene nodes, degree 4, 5% loss per link) so the recovery
+    ladder is genuinely exercised and traces show timeouts, retries
+    and failovers.  ``sync_rounds`` additionally runs that many
+    post-relay mempool syncs between the first node pairs, so sync
+    spans appear in the trace too.  Everything is seeded: the same
+    arguments always produce the same run, traced or not.
+    """
+    simulator = Simulator()
+    peers = [Node(f"n{i:02d}", simulator, protocol=protocol)
+             for i in range(nodes)]
+    connect_random_regular(peers, degree=degree, latency=latency,
+                           bandwidth=bandwidth, rng=random.Random(seed),
+                           loss_rate=loss)
+    tracer = Tracer(simulator).attach(*peers) if trace else None
+    scenario = make_block_scenario(n=block_size, extra=extra, fraction=1.0,
+                                   seed=seed % 997)
+    for node in peers[1:]:
+        node.mempool.add_many(scenario.receiver_mempool.transactions())
+    peers[0].mine_block(scenario.block)
+    simulator.run(until=until)
+    for i in range(sync_rounds):
+        initiator = peers[(2 * i + 1) % len(peers)]
+        responder = next(iter(initiator.peers))
+        initiator.initiate_mempool_sync(responder)
+        simulator.run(until=simulator.now + 60.0)
+    return ObservedRun(simulator=simulator, nodes=peers, tracer=tracer,
+                       block=scenario.block,
+                       root=scenario.block.header.merkle_root)
