@@ -1,13 +1,13 @@
 # Entry points for the Graphene reproduction. `make ci` is the gate a
 # commit must pass: the tier-1 test suite, the PDS perf guard, the
-# end-to-end network smoke test plus its run-report invariants, and the
-# executable-docs check.
+# end-to-end network smoke test plus its run-report invariants, the
+# fixed-seed fuzz smoke, and the executable-docs check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check perf-update bench smoke report-check \
-	docs-check ci
+	fuzz-smoke fuzz docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,12 @@ report-check: smoke
 docs-check:
 	$(PYTHON) scripts/check_docs_snippets.py
 
+fuzz-smoke:
+	$(PYTHON) scripts/fuzz_smoke.py
+
+fuzz:
+	$(PYTHON) -m repro fuzz --seed 0 --cases 2000
+
 perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_pds.py --benchmark-only -q
 
@@ -33,4 +39,4 @@ perf-update:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check report-check docs-check
+ci: test perf-check report-check fuzz-smoke docs-check

@@ -42,6 +42,10 @@ class Transaction:
     fee_rate:
         Satoshis per byte; lets workloads model low-fee transactions that
         relay policies drop but miners still include (paper 2.2).
+        Quantized to f32 at construction -- the wire codec packs it as
+        f32, so holding a full double here would make a decoded
+        transaction compare (and sort) differently from its loopback
+        twin.
     """
 
     txid: bytes
@@ -58,6 +62,14 @@ class Transaction:
                 f"txid must be {TXID_BYTES} bytes, got {len(self.txid)}")
         if self.size < 1:
             raise ParameterError(f"size must be >= 1, got {self.size}")
+        try:
+            fee32 = struct.unpack("<f", struct.pack("<f", self.fee_rate))[0]
+        except (OverflowError, struct.error) as exc:
+            raise ParameterError(
+                f"fee_rate {self.fee_rate!r} is not representable as "
+                f"f32") from exc
+        if fee32 != self.fee_rate:
+            object.__setattr__(self, "fee_rate", fee32)
 
     def short_id(self, nbytes: int = SHORT_ID_BYTES) -> int:
         """Truncated ID as stored in IBLTs and short-ID lists."""

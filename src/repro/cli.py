@@ -11,6 +11,8 @@ Subcommands cover the workflows a user reaches for first:
 * ``trace``       -- netsim with a tracer attached; print the span timeline.
 * ``report``      -- netsim with metrics collection; print byte/outcome
   tables and check the accounting invariants.
+* ``fuzz``        -- run the differential fuzzing engines; minimize and
+  archive any failures as replayable corpus artifacts.
 """
 
 from __future__ import annotations
@@ -235,6 +237,32 @@ def _cmd_report(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import ENGINES, replay_artifact, run_fuzz
+
+    if args.replay:
+        failure = replay_artifact(args.replay)
+        if failure is None:
+            print(f"{args.replay}: replays clean (bug stays fixed)")
+            return 0
+        print(f"{args.replay}: STILL FAILS\n  {failure}")
+        return 1
+    engines = None if args.engine == "all" else [args.engine]
+    corpus = None if args.no_artifacts else Path(args.corpus)
+    stats = run_fuzz(seed=args.seed, cases=args.cases, budget=args.budget,
+                     engines=engines, corpus_dir=corpus,
+                     max_failures=args.max_failures,
+                     log=print if args.verbose else None)
+    print(stats.summary())
+    for failure in stats.failures:
+        print(f"  {failure}")
+    for path in stats.artifacts:
+        print(f"  artifact: {path}")
+    return 0 if stats.ok else 1
+
+
 def _add_scenario_args(parser) -> None:
     """Shared knobs for the observed-run commands (trace, report)."""
     parser.add_argument("--nodes", type=int, default=20)
@@ -332,6 +360,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", default=None, metavar="PATH",
                         help="also write the full run report to PATH")
     report.set_defaults(func=_cmd_report)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="differential fuzzing: codec round-trips, "
+                               "PDS batch paths, lossy relay scenarios")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; same seed -> same cases")
+    fuzz.add_argument("--cases", type=int, default=500,
+                      help="case budget for a cost-1 engine")
+    fuzz.add_argument("--budget", type=float, default=None,
+                      help="wall-clock cap in seconds")
+    fuzz.add_argument("--engine", default="all",
+                      choices=["all", "codec", "pds", "relay"])
+    fuzz.add_argument("--corpus", default="tests/corpus",
+                      help="artifact directory for minimized failures")
+    fuzz.add_argument("--no-artifacts", action="store_true",
+                      help="report failures without writing artifacts")
+    fuzz.add_argument("--max-failures", type=int, default=5,
+                      help="stop the campaign after this many findings")
+    fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="replay one corpus artifact instead of fuzzing")
+    fuzz.add_argument("--verbose", action="store_true")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

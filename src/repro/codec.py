@@ -22,6 +22,7 @@ Layouts (all little-endian):
 
 from __future__ import annotations
 
+import math
 import struct
 
 from repro.chain.block import BlockHeader
@@ -32,6 +33,8 @@ from repro.pds.iblt import IBLT
 from repro.utils.serialization import compact_size, read_compact_size
 
 _U32 = 0xFFFFFFFF
+_LN2 = math.log(2.0)
+_LN2_SQ = _LN2 * _LN2
 
 
 # ---------------------------------------------------------------------------
@@ -48,7 +51,14 @@ def decode_bloom(data: bytes, offset: int = 0) -> tuple[BloomFilter, int]:
     """Parse a Bloom filter; returns ``(filter, new_offset)``.
 
     The decoded filter answers membership identically to the encoded
-    one (inserted-item count is not on the wire and is left at 0).
+    one (inserted-item count is not on the wire and is left at 0; use
+    :func:`restore_bloom_load` when a protocol message supplies it).
+
+    The target FPR is likewise not on the wire, but an optimally sized
+    filter satisfies ``f = 2^-k``, so that is restored rather than the
+    constructor default of 1.0 -- which would make every decoded
+    non-degenerate filter claim it matches everything when sizing math
+    consults ``target_fpr``.
     """
     if offset + 9 > len(data):
         raise ParameterError("buffer exhausted while reading Bloom header")
@@ -59,7 +69,28 @@ def decode_bloom(data: bytes, offset: int = 0) -> tuple[BloomFilter, int]:
         raise ParameterError("buffer exhausted while reading Bloom bits")
     bloom = BloomFilter(nbits, k, seed=seed)
     bloom._bits[:] = data[offset:offset + nbytes]
+    if nbits:
+        bloom._target_fpr = 0.5 ** k
     return bloom, offset + nbytes
+
+
+def restore_bloom_load(bloom: BloomFilter, count: int) -> BloomFilter:
+    """Restore a decoded filter's load from a protocol-carried count.
+
+    With the load known, the construction-time target FPR can be
+    recovered from the sizing ``nbits = ceil(-n ln f / ln^2 2)``
+    (inverted: ``f = exp(-nbits ln^2 2 / n)``), which refines the
+    ``2^-k`` estimate :func:`decode_bloom` starts from.
+
+    Degenerate filters are left untouched: inserts into them are
+    no-ops (count stays 0 on the loopback side), so restoring a count
+    would *create* a wire/loopback divergence rather than heal one.
+    """
+    if bloom.nbits == 0 or count <= 0:
+        return bloom
+    bloom.count = count
+    bloom._target_fpr = math.exp(-bloom.nbits * _LN2_SQ / count)
+    return bloom
 
 
 # ---------------------------------------------------------------------------
@@ -141,14 +172,19 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
     if k < 2 or cells < k or cells % k != 0:
         raise ParameterError(
             f"inconsistent IBLT shape: cells={cells}, k={k}")
+    # Bound the body against the buffer BEFORE allocating the columns:
+    # a hostile 12-byte header may claim ~2^32 cells, and three 8-byte
+    # columns for that is a ~100 GB allocation the remaining bytes
+    # cannot possibly back.
+    body = cells * (_FULL_CELL_BYTES if pad == _FULL_CELL_BYTES
+                    else cell_bytes)
+    if offset + body > len(data):
+        raise ParameterError("buffer exhausted while reading IBLT cells")
     iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
     counts = iblt._counts
     key_sums = iblt._key_sums
     check_sums = iblt._check_sums
     if pad == _FULL_CELL_BYTES:
-        body = cells * _FULL_CELL_BYTES
-        if offset + body > len(data):
-            raise ParameterError("buffer exhausted while reading IBLT cells")
         for i, (count, key_sum, check) in enumerate(
                 _FULL_CELL_STRUCT.iter_unpack(data[offset:offset + body])):
             counts[i] = count
@@ -156,9 +192,6 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
             check_sums[i] = check
         return iblt, offset + body
     check_width = cell_bytes - 10
-    body = cells * cell_bytes
-    if offset + body > len(data):
-        raise ParameterError("buffer exhausted while reading IBLT cells")
     cell_struct = _CELL_STRUCTS.get(check_width)
     if cell_struct is not None:
         i = 0
@@ -258,9 +291,10 @@ def decode_protocol1_payload(data: bytes, offset: int = 0):
     """Parse a Protocol 1 payload; returns ``(payload, new_offset)``.
 
     Reconstructs a :class:`~repro.core.protocol1.Protocol1Payload` whose
-    receive-side behaviour matches the original (the sender-side sizing
-    ``plan`` is not on the wire; the decoded payload carries the FPR the
-    filter was built with via ``bloom.target_fpr`` estimation).
+    receive-side behaviour matches the original: the sender-side sizing
+    ``plan`` is not on the wire, so the decoded payload's plan carries
+    ``bloom_s.actual_fpr()`` over the restored load, and S's target FPR
+    is re-estimated from its wire dimensions and ``n``.
     """
     from repro.core.params import FilterIBLTPlan
     from repro.core.protocol1 import Protocol1Payload
@@ -276,7 +310,7 @@ def decode_protocol1_payload(data: bytes, offset: int = 0):
     # reports (1 - e^{-kn/m})^k instead of the empty-filter 0.0, which
     # would make the receiver treat S as degenerate and size IBLT J to
     # the whole candidate set.
-    bloom.count = n
+    restore_bloom_load(bloom, n)
     fpr = bloom.actual_fpr() if bloom.nbits else 1.0
     plan = FilterIBLTPlan(
         a=0, fpr=fpr if fpr > 0 else 1.0, recover=recover,
@@ -298,7 +332,13 @@ def encode_protocol2_request(request) -> bytes:
 
 
 def decode_protocol2_request(data: bytes, offset: int = 0):
-    """Parse a Protocol 2 request; returns ``(request, new_offset)``."""
+    """Parse a Protocol 2 request; returns ``(request, new_offset)``.
+
+    R holds the z candidate txids, and z is on the wire: restore the
+    load so the responder's sizing sees R's real ``actual_fpr()``
+    rather than an empty filter's 0.0, exactly as it would over
+    loopback.
+    """
     from repro.core.protocol2 import Protocol2Request
 
     if offset >= len(data):
@@ -310,6 +350,7 @@ def decode_protocol2_request(data: bytes, offset: int = 0):
     z, offset = read_compact_size(data, offset)
     xstar, offset = read_compact_size(data, offset)
     bloom, offset = decode_bloom(data, offset)
+    bloom = restore_bloom_load(bloom, z)
     request = Protocol2Request(bloom_r=bloom, b=b, ystar=ystar, z=z,
                                xstar=xstar, special_case=bool(flags & 1),
                                plan=None)

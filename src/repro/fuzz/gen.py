@@ -1,0 +1,155 @@
+"""Deterministic structure-aware generators for the fuzz engines.
+
+Every generator takes a ``random.Random`` (or a JSON-serializable
+parameter dict) and returns fully-built protocol structures, so that a
+case is reproducible from nothing but its parameters: the engines
+re-derive identical structures when replaying a crash artifact or
+shrinking a failure.  Nothing here draws from global randomness.
+
+Two families live here:
+
+* **structure generators** -- random-but-valid Bloom filters, IBLTs,
+  transactions and whole Protocol 1/2 messages, built through the same
+  constructors the protocols use (``BloomFilter.from_fpr``,
+  ``build_protocol1``, ...), so generated inputs sit in the realistic
+  region of the parameter space rather than uniformly in it;
+* **byte mutators** -- structure-blind corruption of valid encodings
+  (bit flips, truncation, splices, length-field edits) that probe the
+  decoders' hostile-input behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.chain.scenarios import make_block_scenario
+from repro.chain.transaction import Transaction, TransactionGenerator
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.core.protocol2 import build_protocol2_request, respond_protocol2
+from repro.pds.bloom import BloomFilter
+from repro.pds.iblt import IBLT
+from repro.utils.hashing import sha256
+
+
+def rng_from(*token) -> random.Random:
+    """A deterministic PRNG derived from a printable token.
+
+    String seeding goes through SHA-512 inside :mod:`random`, so the
+    stream is stable across processes and platforms (``hash()``-based
+    seeding would depend on ``PYTHONHASHSEED``).
+    """
+    return random.Random(":".join(str(part) for part in token))
+
+
+# ---------------------------------------------------------------------------
+# Structures
+# ---------------------------------------------------------------------------
+
+def make_items(rng: random.Random, n: int, width: int = 32) -> List[bytes]:
+    """``n`` distinct pseudo-txid byte strings of ``width`` bytes."""
+    return [sha256(rng.getrandbits(64).to_bytes(8, "little"))[:width]
+            for _ in range(n)]
+
+
+def make_keys(rng: random.Random, n: int) -> List[int]:
+    """``n`` random 64-bit IBLT keys (may repeat, as short IDs can)."""
+    return [rng.getrandbits(64) for _ in range(n)]
+
+
+def make_transactions(rng: random.Random, n: int) -> List[Transaction]:
+    """``n`` synthetic transactions from a seeded generator."""
+    gen = TransactionGenerator(seed=rng.getrandbits(32))
+    txs = gen.make_batch(n)
+    if txs and rng.random() < 0.3:
+        txs[0] = gen.make_coinbase()
+    return txs
+
+
+def make_bloom(rng: random.Random, n_items: int,
+               fpr: float, seed: int) -> Tuple[BloomFilter, List[bytes]]:
+    """A loaded filter built the way the protocols build S, R and F."""
+    bloom = BloomFilter.from_fpr(n_items, fpr, seed=seed)
+    items = make_items(rng, n_items)
+    if rng.random() < 0.5:
+        bloom.update(items)
+    else:
+        for item in items:
+            bloom.insert(item)
+    return bloom, items
+
+
+def make_iblt(rng: random.Random, cells: int, k: int, seed: int,
+              cell_bytes: int, n_insert: int,
+              n_erase: int) -> Tuple[IBLT, List[int], List[int]]:
+    """A populated IBLT, optionally with erased (count -1) keys."""
+    iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
+    inserted = make_keys(rng, n_insert)
+    erased = make_keys(rng, n_erase)
+    iblt.update(inserted)
+    for key in erased:
+        iblt.erase(key)
+    return iblt, inserted, erased
+
+
+def make_p1(params: dict):
+    """A Protocol 1 payload plus its scenario, from a parameter dict."""
+    sc = make_block_scenario(n=params["n"], extra=params["extra"],
+                             fraction=params["fraction"],
+                             seed=params["seed"])
+    payload = build_protocol1(sc.block.txs, sc.m, GrapheneConfig())
+    return payload, sc
+
+
+def make_p2(params: dict):
+    """A Protocol 2 request/response pair (returns None if P1 succeeds).
+
+    Runs the real receiver against the Protocol 1 payload so the
+    request's R, bounds and special-case flag are whatever the protocol
+    actually produces for this scenario.
+    """
+    config = GrapheneConfig()
+    payload, sc = make_p1(params)
+    p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                           validate_block=sc.block)
+    if p1.success:
+        return None
+    request, state = build_protocol2_request(p1, payload, sc.m, config)
+    response = respond_protocol2(request, sc.block.txs, sc.m, config)
+    return request, response, state, sc
+
+
+# ---------------------------------------------------------------------------
+# Byte mutators
+# ---------------------------------------------------------------------------
+
+#: Mutation operator names, in the order the mutator draws them.
+MUTATION_OPS = ("bitflip", "byte", "truncate", "delete", "insert", "splice")
+
+
+def mutate(blob: bytes, rng: random.Random, n_ops: int = 1) -> bytes:
+    """Apply ``n_ops`` random structure-blind corruptions to ``blob``."""
+    data = bytearray(blob)
+    for _ in range(n_ops):
+        if not data:
+            data = bytearray(rng.getrandbits(8) for _ in range(4))
+            continue
+        op = rng.choice(MUTATION_OPS)
+        pos = rng.randrange(len(data))
+        if op == "bitflip":
+            data[pos] ^= 1 << rng.randrange(8)
+        elif op == "byte":
+            data[pos] = rng.getrandbits(8)
+        elif op == "truncate":
+            del data[pos:]
+        elif op == "delete":
+            del data[pos:pos + rng.randint(1, 8)]
+        elif op == "insert":
+            data[pos:pos] = bytes(rng.getrandbits(8)
+                                  for _ in range(rng.randint(1, 8)))
+        else:  # splice: copy one window over another
+            src = rng.randrange(len(data))
+            length = rng.randint(1, 16)
+            data[pos:pos + length] = data[src:src + length]
+    return bytes(data)

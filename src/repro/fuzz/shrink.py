@@ -1,0 +1,74 @@
+"""Greedy parameter-space minimization for fuzz failures.
+
+When an engine finds a failing case the runner does not archive it
+as-is: huge random parameter dicts make terrible regression tests.  The
+shrinker walks the engine's own ``shrink_candidates`` proposals --
+smaller item counts, dropped faults, zero loss, simpler mutation bases
+-- and greedily accepts any candidate that still fails *the same
+check*.  Insisting on the same check name keeps the minimized case a
+witness of the original bug rather than of whatever other bug small
+inputs happen to trip.
+
+Everything is deterministic: candidates are re-checked by re-deriving
+the case from its parameters, exactly as replay does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.fuzz.engines import Engine, FuzzFailure
+
+
+def _weight(params: dict) -> int:
+    """Rough case size: the sum of all integer magnitudes in ``params``.
+
+    Good enough for greedy descent -- every candidate an engine proposes
+    shrinks one of these integers or deletes a sub-dict, so a strictly
+    smaller weight means a strictly simpler case.
+    """
+    total = 0
+    for value in params.values():
+        if isinstance(value, bool):
+            total += int(value)
+        elif isinstance(value, int):
+            total += abs(value)
+        elif isinstance(value, float):
+            total += int(abs(value) * 100)
+        elif isinstance(value, dict):
+            total += 1 + _weight(value)
+        elif isinstance(value, (list, tuple)):
+            total += len(value)
+    return total
+
+
+def shrink(engine: Engine, failure: FuzzFailure,
+           max_rounds: int = 64) -> Tuple[FuzzFailure, int]:
+    """Minimize ``failure``; returns (smallest failure, rounds used).
+
+    Each round re-runs every candidate the engine proposes for the
+    current champion and adopts the smallest one that reproduces the
+    same check failure.  Stops when a round produces no improvement or
+    ``max_rounds`` is exhausted (engines with expensive cases keep this
+    small via their ``cost``).
+    """
+    best = failure
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        improved: Optional[FuzzFailure] = None
+        for candidate in engine.shrink_candidates(best.params):
+            if _weight(candidate) >= _weight(best.params):
+                continue
+            try:
+                refound = engine.check(candidate)
+            except Exception:   # candidate found a *different* bug;
+                continue        # stay on the one we are minimizing
+            if refound is not None and refound.check == best.check:
+                if improved is None or \
+                        _weight(refound.params) < _weight(improved.params):
+                    improved = refound
+        if improved is None:
+            break
+        best = improved
+    return best, rounds

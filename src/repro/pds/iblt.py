@@ -57,7 +57,9 @@ _BATCH_MIN = 32
 #: Default serialized cell width in bytes: 2 (count) + 8 (keySum) + 2 (checkSum).
 DEFAULT_CELL_BYTES = 12
 
-#: Fixed per-IBLT wire header: cell count (4) + k (1) + seed (4) + salt (3).
+#: Fixed per-IBLT wire header, 12 bytes:
+#: ``cells u32 | k u8 | seed u32 | cell_bytes u8 | pad u16``
+#: (see :func:`repro.codec.encode_iblt` and docs/PROTOCOL.md section 1.2).
 IBLT_HEADER_BYTES = 12
 
 

@@ -1,0 +1,96 @@
+"""Replay the fuzz corpus: every bug the fuzzer ever caught stays caught.
+
+Artifacts in ``tests/corpus/`` are minimized failing (or, for the seed
+corpus, deliberately bug-class-pinning) cases written by ``repro fuzz``.
+Each replays here as a plain pytest regression by re-deriving the case
+from its parameters -- reverting any of the wire-parity fixes makes the
+matching artifact fail again.
+
+The truncation battery additionally walks *every* byte offset of valid
+Protocol 1 / Protocol 2 messages: the codecs consume every byte, so any
+strict prefix must raise rather than mis-parse.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.chain.scenarios import make_block_scenario
+from repro.core.params import GrapheneConfig
+from repro.core.protocol1 import build_protocol1, receive_protocol1
+from repro.core.protocol2 import build_protocol2_request, respond_protocol2
+from repro.errors import ReproError
+from repro.fuzz import load_artifact, replay_artifact
+
+CORPUS = Path(__file__).parent / "corpus"
+ARTIFACTS = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(ARTIFACTS) >= 12, (
+        "the seed corpus ships with the repo; if you moved it, update "
+        "CORPUS in this test")
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_clean(path):
+    failure = replay_artifact(path)
+    assert failure is None, (
+        f"corpus case regressed: {failure}\n"
+        f"note: {load_artifact(path).get('note', '')}")
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_is_well_formed(path):
+    payload = load_artifact(path)
+    assert isinstance(payload["params"], dict)
+    assert payload["check"], "artifacts must name the check they guard"
+
+
+class TestTruncationAtEveryOffset:
+    """Strict prefixes of valid messages must always be rejected."""
+
+    @pytest.fixture(scope="class")
+    def wire_messages(self):
+        from repro.codec import (
+            encode_protocol1_payload,
+            encode_protocol2_request,
+            encode_protocol2_response,
+        )
+        config = GrapheneConfig()
+        sc = make_block_scenario(n=120, extra=80, fraction=0.7, seed=75)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                               validate_block=sc.block)
+        assert not p1.success, "scenario must reach Protocol 2"
+        request, _ = build_protocol2_request(p1, payload, sc.m, config)
+        response = respond_protocol2(request, sc.block.txs, sc.m, config)
+        return {
+            "p1": encode_protocol1_payload(payload),
+            "p2_request": encode_protocol2_request(request),
+            "p2_response": encode_protocol2_response(response),
+        }
+
+    @pytest.mark.parametrize("name,decoder_name", [
+        ("p1", "decode_protocol1_payload"),
+        ("p2_request", "decode_protocol2_request"),
+        ("p2_response", "decode_protocol2_response"),
+    ])
+    def test_every_strict_prefix_raises(self, wire_messages, name,
+                                        decoder_name):
+        import repro.codec as codec
+        decoder = getattr(codec, decoder_name)
+        blob = wire_messages[name]
+        decoder(blob)  # the full message decodes
+        survivors = []
+        for cut in range(len(blob)):
+            try:
+                decoder(blob[:cut])
+            except (ReproError, ValueError):
+                continue
+            survivors.append(cut)
+        assert not survivors, (
+            f"{decoder_name} accepted strict prefixes of lengths "
+            f"{survivors[:10]} (message is {len(blob)} bytes)")

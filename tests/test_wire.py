@@ -138,6 +138,76 @@ class TestIBLTCodec:
             decode_iblt(blob[: len(blob) // 2])
 
 
+class TestBloomLoadRestore:
+    """A wire-decoded filter must not lie about its target FPR or load."""
+
+    def test_decoded_filter_reports_sane_target_fpr(self):
+        # Regression: decode_bloom used to leave _target_fpr at the
+        # constructor default of 1.0, so any sizing math done on a
+        # decoded filter silently treated it as degenerate.
+        bloom = BloomFilter.from_fpr(300, 0.02, seed=4)
+        decoded, _ = decode_bloom(encode_bloom(bloom))
+        assert not decoded.is_degenerate
+        assert decoded.target_fpr < 1.0
+        # Optimal filters satisfy f = 2^-k, which is all the wire knows.
+        assert decoded.target_fpr == 0.5 ** bloom.k
+
+    @pytest.mark.parametrize("n,fpr", [(50, 0.1), (200, 0.01),
+                                       (1000, 0.001), (40, 0.0005)])
+    def test_restored_load_inverts_the_sizing(self, n, fpr):
+        from repro.codec import restore_bloom_load
+        bloom = BloomFilter.from_fpr(n, fpr, seed=2)
+        decoded, _ = decode_bloom(encode_bloom(bloom))
+        restore_bloom_load(decoded, n)
+        assert decoded.count == n
+        # nbits = ceil(-n ln f / ln^2 2), so inverting recovers f up to
+        # the ceil: the estimate lands in (f * exp(-ln^2 2 / n), f].
+        assert fpr * 0.59 <= decoded.target_fpr <= fpr * 1.000001
+
+    def test_degenerate_filter_load_not_restored(self):
+        from repro.codec import restore_bloom_load
+        bloom = BloomFilter.from_fpr(10, 1.0)
+        decoded, _ = decode_bloom(encode_bloom(bloom))
+        restore_bloom_load(decoded, 10)
+        # Inserts into a degenerate filter don't count, so a loopback
+        # degenerate filter holds count 0; the wire twin must match.
+        assert decoded.count == 0
+        assert decoded.actual_fpr() == 1.0
+
+
+class TestP2RequestLoadParity:
+    """The responder must see the same R either side of the wire."""
+
+    def _request(self, config, seed=75):
+        sc = make_block_scenario(n=150, extra=100, fraction=0.7, seed=seed)
+        payload = build_protocol1(sc.block.txs, sc.m, config)
+        p1 = receive_protocol1(payload, sc.receiver_mempool, config,
+                               validate_block=sc.block)
+        assert not p1.success
+        request, _ = build_protocol2_request(p1, payload, sc.m, config)
+        return request, sc
+
+    def test_decoded_request_restores_bloom_load(self, config):
+        # Regression: decode_protocol2_request left R's count at 0, so
+        # the responder computed actual_fpr() == 0.0 and sized T and J
+        # as if R never false-positived.
+        request, _ = self._request(config)
+        arrived, _ = decode_protocol2_request(
+            encode_protocol2_request(request))
+        assert arrived.bloom_r.count == request.bloom_r.count == request.z
+        assert arrived.bloom_r.actual_fpr() == request.bloom_r.actual_fpr()
+        assert arrived.bloom_r.actual_fpr() > 0.0
+
+    def test_wire_and_loopback_responses_are_identical(self, config):
+        request, sc = self._request(config)
+        arrived, _ = decode_protocol2_request(
+            encode_protocol2_request(request))
+        loopback = respond_protocol2(request, sc.block.txs, sc.m, config)
+        wire = respond_protocol2(arrived, sc.block.txs, sc.m, config)
+        assert (encode_protocol2_response(wire)
+                == encode_protocol2_response(loopback))
+
+
 class TestTransactionCodec:
     def test_roundtrip(self, txgen):
         tx = txgen.make()
@@ -162,6 +232,26 @@ class TestTransactionCodec:
         tx = Transaction(txid=txid, size=size)
         decoded, _ = decode_transaction(encode_transaction(tx))
         assert decoded.txid == txid and decoded.size == size
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_fee_rate_survives_the_wire_exactly(self, fee_rate):
+        # Regression: fee_rate crossed the wire as f32 but the
+        # dataclass held the full double, so decode(encode(tx)) != tx
+        # whenever the rate wasn't f32-representable -- and a mempool
+        # sorted by fee rate could order differently after a hop.
+        tx = Transaction(txid=sha256(b"fee"), fee_rate=fee_rate)
+        decoded, _ = decode_transaction(encode_transaction(tx))
+        assert decoded == tx
+        assert decoded.fee_rate == tx.fee_rate
+
+    def test_fee_rate_ordering_stable_across_the_wire(self, rng):
+        gen = TransactionGenerator(seed=909)
+        txs = gen.make_batch(60)  # expovariate doubles, not f32-exact
+        decoded, _ = decode_tx_list(encode_tx_list(txs))
+        order = lambda ts: [t.txid for t in  # noqa: E731
+                            sorted(ts, key=lambda t: (t.fee_rate, t.txid))]
+        assert order(decoded) == order(txs)
 
 
 class TestProtocolMessageCodecs:
