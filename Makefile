@@ -1,13 +1,14 @@
 # Entry points for the Graphene reproduction. `make ci` is the gate a
 # commit must pass: the tier-1 test suite, the PDS perf guard, the
+# relay-throughput perf guard (baseline compare + profile budget), the
 # end-to-end network smoke test plus its run-report invariants, the
 # fixed-seed fuzz smoke, and the executable-docs check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf perf-check perf-update bench smoke report-check \
-	fuzz-smoke fuzz docs-check ci
+.PHONY: test perf perf-check perf-update perf-relay perf-relay-update \
+	profile-relay bench smoke report-check fuzz-smoke fuzz docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,7 +37,17 @@ perf-check:
 perf-update:
 	$(PYTHON) scripts/check_perf.py --update
 
+perf-relay:
+	$(PYTHON) scripts/check_perf.py --suite relay
+	$(PYTHON) benchmarks/profile_relay.py --check
+
+perf-relay-update:
+	$(PYTHON) scripts/check_perf.py --suite relay --update
+
+profile-relay:
+	$(PYTHON) benchmarks/profile_relay.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check report-check fuzz-smoke docs-check
+ci: test perf-check perf-relay report-check fuzz-smoke docs-check

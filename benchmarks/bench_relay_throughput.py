@@ -1,0 +1,181 @@
+"""End-to-end relay throughput benchmark (the BENCH_RELAY trajectory).
+
+Where :mod:`perf_pds` times the probabilistic structures in isolation,
+this suite times the whole relay pipeline the way the paper's section
+6.3 frames it: engines, codecs, telemetry and transport together, as
+blocks-relayed-per-second and mempool-sync rounds-per-second.
+
+Cases:
+
+* ``loopback_relay``       -- one sender engine serving fresh receiver
+  engines over a :class:`~repro.net.transport.LoopbackTransport`, the
+  shape of one node fanning a new block out to its peers (n = 200).
+* ``loopback_relay_2000``  -- the same exchange at the paper's common
+  n = 2 000 block size.
+* ``mempool_sync``         -- full mempool reconciliation rounds
+  (paper 3.2.1) between two ~1 000-transaction pools with a 10%
+  symmetric difference, structure bytes only.
+* ``simulator_relay``      -- one block propagated across the 20-node
+  lossy random-regular topology of the smoke scenario; counts the 19
+  completed relays against wall clock.
+
+Every case draws fixed-seed inputs, runs its body ``REPS`` times and
+reports the best rate, so the numbers frozen in ``BENCH_RELAY.json``
+are comparable whenever the suite is re-run on the same machine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.chain.block import Block
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import TransactionGenerator
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
+from repro.core.mempool_sync import synchronize_mempools
+from repro.core.params import GrapheneConfig
+from repro.net.transport import LoopbackTransport
+from repro.obs.scenario import run_block_relay_scenario
+
+#: Repetitions per case; the best rate is reported to damp scheduler noise.
+REPS = 5
+
+
+def _best_rate(run: Callable[[], int], reps: int = REPS) -> tuple[float, int]:
+    """Run ``run`` (returns ops completed) ``reps`` times; best (s, ops).
+
+    One untimed warm-up call precedes the timed repetitions so imports,
+    shared hash-family caches and numpy first-touch costs are paid
+    outside the measurement -- the steady state is what the baseline
+    freezes.
+    """
+    run()
+    best = float("inf")
+    ops = 0
+    for _ in range(reps):
+        start = time.perf_counter()
+        ops = run()
+        best = min(best, time.perf_counter() - start)
+    return best, ops
+
+
+# ---------------------------------------------------------------------------
+# Loopback relay: blocks-relayed-per-second
+# ---------------------------------------------------------------------------
+
+def bench_loopback_relay(n: int = 200, extra: int = 40,
+                         relays: int = 30, seed: int = 7) -> dict:
+    """One sender engine fans a block out to ``relays`` fresh receivers.
+
+    This is the acceptance case of the BENCH_RELAY baseline: the whole
+    Protocol 1 path (sizing, S + I build, codec round-trip, mempool
+    sweep, subtract/peel, Merkle validation, telemetry) per relay.
+    """
+    gen = TransactionGenerator(seed=seed)
+    txs = gen.make_batch(n) + [gen.make_coinbase()]
+    block = Block.assemble(txs)
+    mempool = Mempool()
+    mempool.add_many([tx for tx in txs if not tx.is_coinbase]
+                     + gen.make_batch(extra))
+    config = GrapheneConfig()
+
+    def run() -> int:
+        sender = GrapheneSenderEngine(block, config)
+        for _ in range(relays):
+            receiver = GrapheneReceiverEngine(mempool, config)
+            final = LoopbackTransport(sender, receiver).run()
+            assert final.kind is ActionKind.DONE
+        return relays
+
+    secs, ops = _best_rate(run)
+    return {"case": f"loopback_relay{'' if n == 200 else f'_{n}'}",
+            "unit": "blocks_per_s", "ops": ops,
+            "params": {"n": n, "extra": extra}, "secs": secs}
+
+
+# ---------------------------------------------------------------------------
+# Mempool synchronization: rounds-per-second
+# ---------------------------------------------------------------------------
+
+def bench_mempool_sync(shared: int = 900, each_extra: int = 50,
+                       rounds: int = 10, seed: int = 11) -> dict:
+    """Full reconciliation rounds between two largely-shared mempools.
+
+    ``transfer_missing=False`` keeps both pools untouched between
+    rounds (Fig. 18's structure-bytes accounting), so every round does
+    identical reconciliation work.
+    """
+    gen = TransactionGenerator(seed=seed)
+    common = gen.make_batch(shared)
+    sender_pool = Mempool(common + gen.make_batch(each_extra))
+    receiver_pool = Mempool(common + gen.make_batch(each_extra))
+    config = GrapheneConfig()
+
+    def run() -> int:
+        for _ in range(rounds):
+            result = synchronize_mempools(sender_pool, receiver_pool,
+                                          config=config,
+                                          transfer_missing=False)
+            assert result.success
+        return rounds
+
+    secs, ops = _best_rate(run)
+    return {"case": "mempool_sync", "unit": "rounds_per_s", "ops": ops,
+            "params": {"shared": shared, "each_extra": each_extra},
+            "secs": secs}
+
+
+# ---------------------------------------------------------------------------
+# Simulated network: blocks-relayed-per-second across 20 nodes
+# ---------------------------------------------------------------------------
+
+def bench_simulator_relay(nodes: int = 20, degree: int = 4,
+                          block_size: int = 200, extra: int = 200,
+                          loss: float = 0.05, seed: int = 2024) -> dict:
+    """One block propagated over the smoke test's lossy 20-node network.
+
+    Each run completes ``nodes - 1`` relays (every peer but the miner
+    assembles the block), exercising the simulator heap, links, the
+    recovery ladder and per-node telemetry on top of the engines.
+    """
+    def run() -> int:
+        observed = run_block_relay_scenario(
+            nodes=nodes, degree=degree, block_size=block_size,
+            extra=extra, loss=loss, seed=seed, trace=False)
+        assert observed.covered == nodes
+        return nodes - 1
+
+    secs, ops = _best_rate(run)
+    return {"case": "simulator_relay", "unit": "blocks_per_s", "ops": ops,
+            "params": {"nodes": nodes, "degree": degree,
+                       "block_size": block_size, "loss": loss},
+            "secs": secs}
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+def run_suite() -> list[dict]:
+    """Run every case; rows carry ``{case, unit, ops, secs, ops_per_s}``."""
+    rows = [
+        bench_loopback_relay(),
+        bench_loopback_relay(n=2_000, extra=400, relays=6),
+        bench_mempool_sync(),
+        bench_simulator_relay(),
+    ]
+    for row in rows:
+        row["secs"] = round(row["secs"], 6)
+        row["ops_per_s"] = round(row["ops"] / row["secs"], 2) \
+            if row["secs"] else float("inf")
+    return rows
+
+
+if __name__ == "__main__":
+    import json
+    print(json.dumps(run_suite(), indent=1))

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Profile a full-network relay run and report the top cumulative costs.
+
+The paper's section 6.3 argument -- Graphene's savings survive only if
+encode/decode processing stays cheap relative to transmission -- makes
+the relay pipeline's CPU profile a first-class artifact.  This driver
+runs the same workloads ``bench_relay_throughput`` times (loopback
+relays, mempool sync rounds, the 20-node simulator scenario) under
+:mod:`cProfile` and prints the top-N frames by cumulative time, which
+is how every hot spot attacked by the hot-path rounds was found.
+
+``--check`` turns the profile into a CI gate: it fails when any single
+frame *inside this package but outside repro.pds* exceeds a budgeted
+share of total profiled time.  The PDS structures are the work Graphene
+fundamentally has to do; everything else (codec, telemetry, engines,
+transports) is overhead this budget keeps from regrowing.
+
+Usage::
+
+    python benchmarks/profile_relay.py                # top-20 report
+    python benchmarks/profile_relay.py --top 40
+    python benchmarks/profile_relay.py --check        # enforce budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_relay_throughput import (  # noqa: E402
+    bench_loopback_relay,
+    bench_mempool_sync,
+    bench_simulator_relay,
+)
+
+#: Fraction of total profiled tottime any one non-PDS package frame may
+#: consume before --check fails.  The PDS layer (repro/pds/) is exempt:
+#: building and peeling the structures is the protocol's intrinsic work.
+DEFAULT_BUDGET = 0.25
+
+
+def workload() -> None:
+    """The profiled run: loopback relays, sync rounds, simulator hops."""
+    bench_loopback_relay(relays=30)
+    bench_mempool_sync(rounds=5)
+    bench_simulator_relay()
+
+
+def _package_frame(filename: str) -> bool:
+    """True for frames inside repro/ (source of budgetable overhead)."""
+    normalized = filename.replace("\\", "/")
+    return "/repro/" in normalized
+
+
+def _pds_frame(filename: str) -> bool:
+    normalized = filename.replace("\\", "/")
+    return "/repro/pds/" in normalized
+
+
+def check_budget(stats: pstats.Stats, budget: float) -> list[tuple]:
+    """Return ``(share, frame)`` for non-PDS package frames over budget."""
+    total = stats.total_tt or 1.0
+    offenders = []
+    for (filename, lineno, name), (_, _, tottime, _, _) in \
+            stats.stats.items():
+        if not _package_frame(filename) or _pds_frame(filename):
+            continue
+        share = tottime / total
+        if share > budget:
+            offenders.append((share, f"{filename}:{lineno}({name})"))
+    return sorted(offenders, reverse=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--top", type=int, default=20,
+                        help="frames to print (default: 20)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if any single non-PDS frame of this "
+                             "package exceeds --budget of total time")
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET,
+                        help="max tottime share per non-PDS frame "
+                             f"(default: {DEFAULT_BUDGET})")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime"),
+                        help="profile sort order (default: cumulative)")
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    if not args.check:
+        return 0
+    offenders = check_budget(stats, args.budget)
+    if offenders:
+        print(f"\nframes over the {args.budget:.0%} non-PDS budget:",
+              file=sys.stderr)
+        for share, frame in offenders:
+            print(f"  {share:6.1%}  {frame}", file=sys.stderr)
+        return 1
+    print(f"\nno non-PDS frame of this package exceeds "
+          f"{args.budget:.0%} of profiled time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

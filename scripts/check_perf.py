@@ -1,27 +1,36 @@
 #!/usr/bin/env python
-"""Guard the PDS hot path against performance regressions.
+"""Guard the hot paths against performance regressions.
 
-Re-runs the :mod:`perf_pds` suite and compares each case's live
-(``columnar_s``) time against the committed ``BENCH_PDS.json`` baseline.
-Exits nonzero when any case is more than ``--threshold`` (default 1.5x)
-slower than its committed time.
+Two suites, selected with ``--suite``:
 
-The comparison is to wall-clock on the current machine, so a slower
-machine than the one that wrote the baseline can trip it; pass
-``--update`` after verifying to rewrite the baseline with fresh numbers
-(the acceptance floors of bench_perf_pds.py still apply: the update is
-refused if the speedups regress below 3x / 2x).
+* ``pds`` (default) -- re-runs :mod:`perf_pds` and compares each case's
+  live (``columnar_s``) time against the committed ``BENCH_PDS.json``.
+* ``relay`` -- re-runs :mod:`bench_relay_throughput` (whole-pipeline
+  relay throughput) and compares each case's rate against the committed
+  ``BENCH_RELAY.json``.
+
+Either comparison exits nonzero when a case regresses by more than
+``--threshold`` (default 1.5x).  The comparison is to wall clock on the
+current machine, so a slower machine than the one that wrote the
+baseline can trip it; pass ``--update`` after verifying to rewrite the
+baseline with fresh numbers.  Updates are refused when the suite's
+acceptance floors regress: the PDS speedups must stay above 3x / 2x,
+and the relay loopback case must stay at least 5x over the pre-
+optimization rates recorded in the baseline's ``pre`` stanza.
 
 Usage::
 
-    python scripts/check_perf.py            # compare, exit 1 on regression
-    python scripts/check_perf.py --update   # rewrite BENCH_PDS.json
+    python scripts/check_perf.py                       # PDS compare
+    python scripts/check_perf.py --suite relay         # relay compare
+    python scripts/check_perf.py --suite relay --update
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 from pathlib import Path
 
@@ -29,26 +38,46 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
-from perf_pds import run_suite  # noqa: E402
+PDS_BASELINE_PATH = REPO / "BENCH_PDS.json"
+RELAY_BASELINE_PATH = REPO / "BENCH_RELAY.json"
 
-BASELINE_PATH = REPO / "BENCH_PDS.json"
+#: Whole-pipeline relay rates measured at this repo's state *before*
+#: the hot-path round 2 optimization pass, on the same machine class
+#: the committed baseline was written on.  ``--suite relay --update``
+#: refuses to write a baseline whose loopback_relay rate is below
+#: RELAY_FLOORS x these numbers, so the recorded speedup cannot be
+#: silently eroded by later changes.
+RELAY_PRE = {
+    "loopback_relay": 468.75,
+    "loopback_relay_2000": 59.99,
+    "mempool_sync": 91.37,
+    "simulator_relay": 257.53,
+}
+
+#: Minimum acceptable post/pre rate ratio per relay case at update time.
+RELAY_FLOORS = {"loopback_relay": 5.0}
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--threshold", type=float, default=1.5,
-                        help="fail when columnar_s exceeds baseline by "
-                             "this factor (default: 1.5)")
-    parser.add_argument("--slack", type=float, default=0.0005,
-                        help="absolute seconds of grace on top of the "
-                             "threshold, so sub-millisecond cases cannot "
-                             "trip on timer noise (default: 0.0005)")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite BENCH_PDS.json with fresh numbers")
-    args = parser.parse_args()
+def machine_stanza() -> dict:
+    """Describe the machine a baseline was written on (best effort)."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is baked into the image
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpus": os.cpu_count(),
+    }
 
-    if not BASELINE_PATH.exists() and not args.update:
-        print(f"no baseline at {BASELINE_PATH}; run with --update first",
+
+def run_pds(args: argparse.Namespace) -> int:
+    from perf_pds import run_suite
+
+    if not PDS_BASELINE_PATH.exists() and not args.update:
+        print(f"no baseline at {PDS_BASELINE_PATH}; run with --update first",
               file=sys.stderr)
         return 2
 
@@ -64,17 +93,18 @@ def main() -> int:
                       f"{speedups[key]:.2f}x below the {floor:.0f}x floor",
                       file=sys.stderr)
                 return 1
-        BASELINE_PATH.write_text(json.dumps(
+        PDS_BASELINE_PATH.write_text(json.dumps(
             {"units": "seconds",
+             "machine": machine_stanza(),
              "note": ("seed_s times the frozen repro.pds.reference "
                       "implementations, columnar_s the live structures, "
                       "in one process on one machine"),
              "cases": rows}, indent=1) + "\n")
-        print(f"baseline rewritten: {BASELINE_PATH}")
+        print(f"baseline rewritten: {PDS_BASELINE_PATH}")
         return 0
 
     baseline = {(r["case"], r["n"]): r
-                for r in json.loads(BASELINE_PATH.read_text())["cases"]}
+                for r in json.loads(PDS_BASELINE_PATH.read_text())["cases"]}
     failures = []
     for row in rows:
         key = (row["case"], row["n"])
@@ -98,6 +128,84 @@ def main() -> int:
         return 1
     print("\nall cases within threshold")
     return 0
+
+
+def run_relay(args: argparse.Namespace) -> int:
+    from bench_relay_throughput import run_suite
+
+    if not RELAY_BASELINE_PATH.exists() and not args.update:
+        print(f"no baseline at {RELAY_BASELINE_PATH}; run with --update "
+              "first", file=sys.stderr)
+        return 2
+
+    rows = run_suite()
+    rates = {r["case"]: r["ops_per_s"] for r in rows}
+
+    if args.update:
+        for case, floor in RELAY_FLOORS.items():
+            pre = RELAY_PRE[case]
+            if rates[case] < floor * pre:
+                print(f"refusing update: {case} at {rates[case]:.2f} "
+                      f"{rows[0]['unit']} is below {floor:.0f}x the "
+                      f"pre-optimization rate {pre:.2f}",
+                      file=sys.stderr)
+                return 1
+        RELAY_BASELINE_PATH.write_text(json.dumps(
+            {"units": "ops_per_s",
+             "machine": machine_stanza(),
+             "note": ("best-of-REPS whole-pipeline relay rates (engines + "
+                      "codec + telemetry + transport) on one machine; "
+                      "'pre' holds the same cases measured immediately "
+                      "before the hot-path round 2 optimizations"),
+             "pre": RELAY_PRE,
+             "cases": rows}, indent=1) + "\n")
+        print(f"baseline rewritten: {RELAY_BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(RELAY_BASELINE_PATH.read_text())
+    committed_rows = {r["case"]: r for r in baseline["cases"]}
+    failures = []
+    for row in rows:
+        committed = committed_rows.get(row["case"])
+        if committed is None:
+            continue
+        ratio = (committed["ops_per_s"] / row["ops_per_s"]
+                 if row["ops_per_s"] else float("inf"))
+        slow = ratio > args.threshold
+        flag = "REGRESSION" if slow else "ok"
+        print(f"{row['case']:22s} baseline={committed['ops_per_s']:9.2f} "
+              f"now={row['ops_per_s']:9.2f} {row['unit']:12s} "
+              f"slowdown x{ratio:.2f}  {flag}")
+        if slow:
+            failures.append((row["case"], ratio))
+
+    if failures:
+        print(f"\n{len(failures)} case(s) slower than {args.threshold}x "
+              "the committed baseline", file=sys.stderr)
+        return 1
+    print("\nall cases within threshold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("pds", "relay"), default="pds",
+                        help="which baseline to check (default: pds)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when a case regresses by this factor "
+                             "(default: 1.5)")
+    parser.add_argument("--slack", type=float, default=0.0005,
+                        help="absolute seconds of grace on top of the "
+                             "threshold for the pds suite, so sub-"
+                             "millisecond cases cannot trip on timer "
+                             "noise (default: 0.0005)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the suite's baseline with fresh "
+                             "numbers")
+    args = parser.parse_args()
+    if args.suite == "relay":
+        return run_relay(args)
+    return run_pds(args)
 
 
 if __name__ == "__main__":

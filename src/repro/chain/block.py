@@ -19,6 +19,16 @@ from repro.errors import MerkleValidationError, ParameterError
 #: Serialized header size: version(4) prev(32) merkle(32) time(4) bits(4) nonce(4).
 BLOCK_HEADER_BYTES = 80
 
+#: Memoized candidate-set validations, shared across Block instances
+#: (relay paths construct a fresh header-only probe per attempt).  Keyed
+#: ``(merkle_root, frozenset(txids))``; the value is the txid order when
+#: the set hashes to the root, else None.  CTOR is a pure function of
+#: the txids, so the key fully determines the answer; the hit path
+#: re-maps the order onto the *caller's* transaction objects.
+_ORDER_CACHE: dict = {}
+_ORDER_CACHE_CAP = 256
+_ORDER_MISS = object()
+
 
 @dataclass(frozen=True)
 class BlockHeader:
@@ -96,6 +106,48 @@ class Block:
         """
         ordered = canonical_order(list(candidate))
         return merkle_root([tx.txid for tx in ordered]) == self.header.merkle_root
+
+    def validated_order(self, candidate: Sequence[Transaction]
+                        ) -> list[Transaction] | None:
+        """Order and Merkle-check a candidate set in one pass.
+
+        Returns the canonically ordered list when it hashes to this
+        block's root, else ``None``.  Fuses :meth:`validate_candidate`
+        followed by :meth:`require_valid`, which each re-sort and
+        re-hash the same candidate -- the relay hot path asks both
+        questions about every decode.
+
+        The answer is memoized per ``(merkle_root, txid set)`` (a relay
+        re-validates the same reconciled set once per hop): candidate
+        sets are deduplicated by txid in every caller, and CTOR depends
+        only on txids, so the key determines the order.  Sets with
+        duplicate txids bypass the cache.
+        """
+        txs = list(candidate)
+        id_set = frozenset(tx.txid for tx in txs)
+        if len(id_set) != len(txs):
+            ordered = canonical_order(txs)
+            if merkle_root([tx.txid for tx in ordered]) \
+                    != self.header.merkle_root:
+                return None
+            return ordered
+        key = (self.header.merkle_root, id_set)
+        hit = _ORDER_CACHE.get(key, _ORDER_MISS)
+        if hit is not _ORDER_MISS:
+            if hit is None:
+                return None
+            by_id = {tx.txid: tx for tx in txs}
+            return [by_id[txid] for txid in hit]
+        ordered = canonical_order(txs)
+        if merkle_root([tx.txid for tx in ordered]) \
+                != self.header.merkle_root:
+            ordered = None
+        if len(_ORDER_CACHE) >= _ORDER_CACHE_CAP:
+            for stale in list(_ORDER_CACHE)[:_ORDER_CACHE_CAP // 2]:
+                del _ORDER_CACHE[stale]
+        _ORDER_CACHE[key] = tuple(tx.txid for tx in ordered) \
+            if ordered is not None else None
+        return ordered
 
     def require_valid(self, candidate: Sequence[Transaction]) -> list[Transaction]:
         """Return the canonically ordered candidate or raise on mismatch."""

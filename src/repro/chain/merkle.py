@@ -20,6 +20,15 @@ def _sha256d(data: bytes) -> bytes:
     return hashlib.sha256(hashlib.sha256(data).digest()).digest()
 
 
+#: Memoized roots keyed by SHA-256 of the concatenated (ordered) leaf
+#: list.  A relay validates the same candidate set repeatedly (sender
+#: assembly, per-receiver Merkle checks), and fingerprinting the leaves
+#: is one hash pass where the tree itself is ~2(n-1) double-SHA calls.
+#: Bounded: oldest half evicted at the cap (insertion order).
+_ROOT_CACHE: dict = {}
+_ROOT_CACHE_CAP = 1024
+
+
 def merkle_root(txids: Sequence[bytes]) -> bytes:
     """Compute the Merkle root of an *ordered* list of transaction IDs.
 
@@ -33,6 +42,10 @@ def merkle_root(txids: Sequence[bytes]) -> bytes:
     for txid in level:
         if len(txid) != 32:
             raise ParameterError(f"txids must be 32 bytes, got {len(txid)}")
+    key = hashlib.sha256(b"".join(level)).digest()
+    cached = _ROOT_CACHE.get(key)
+    if cached is not None:
+        return cached
     while len(level) > 1:
         if len(level) % 2:
             level.append(level[-1])
@@ -40,6 +53,10 @@ def merkle_root(txids: Sequence[bytes]) -> bytes:
             _sha256d(level[i] + level[i + 1])
             for i in range(0, len(level), 2)
         ]
+    if len(_ROOT_CACHE) >= _ROOT_CACHE_CAP:
+        for stale in list(_ROOT_CACHE)[:_ROOT_CACHE_CAP // 2]:
+            del _ROOT_CACHE[stale]
+    _ROOT_CACHE[key] = level[0]
     return level[0]
 
 

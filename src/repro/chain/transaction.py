@@ -70,9 +70,21 @@ class Transaction:
                 f"f32") from exc
         if fee32 != self.fee_rate:
             object.__setattr__(self, "fee_rate", fee32)
+        # Eager default-width short ID: every Bloom/IBLT build and
+        # short-id lookup in a relay asks for it, the txid is immutable,
+        # and computing it here keeps short_id() branch-free on the hot
+        # default path.
+        object.__setattr__(self, "_short_id8",
+                           short_id(self.txid, SHORT_ID_BYTES))
 
     def short_id(self, nbytes: int = SHORT_ID_BYTES) -> int:
-        """Truncated ID as stored in IBLTs and short-ID lists."""
+        """Truncated ID as stored in IBLTs and short-ID lists.
+
+        The default-width value is precomputed at construction (see
+        ``__post_init__``); other widths are derived on demand.
+        """
+        if nbytes == SHORT_ID_BYTES:
+            return self._short_id8
         return short_id(self.txid, nbytes)
 
     def keyed_short_id(self, key: bytes, nbytes: int = 6) -> int:
@@ -142,13 +154,36 @@ class ShortIdIndex:
     _by_short: dict = field(default_factory=dict)
     collisions: set = field(default_factory=set)
 
-    def add(self, tx: Transaction) -> None:
-        sid = tx.short_id(self.nbytes)
+    def add(self, tx: Transaction, sid: int | None = None) -> None:
+        """Index ``tx``; pass ``sid`` when the caller already computed it.
+
+        Hot reconciliation paths compute each candidate's short ID once
+        and share it between the index, the IBLT and the false-positive
+        strip, so re-deriving it here would double the work.
+        """
+        if sid is None:
+            sid = tx.short_id(self.nbytes)
         existing = self._by_short.get(sid)
         if existing is not None and existing.txid != tx.txid:
             self.collisions.add(sid)
             return
         self._by_short[sid] = tx
+
+    def bulk_add(self, txs: list, sids: list) -> None:
+        """Index parallel ``(tx, sid)`` lists in one pass.
+
+        The common case -- empty index, no short-ID collisions -- builds
+        the map with a single ``dict(zip(...))``; any duplicate falls
+        back to per-item :meth:`add` so first-wins and collision
+        recording behave exactly as the scalar path.
+        """
+        if not self._by_short:
+            merged = dict(zip(sids, txs))
+            if len(merged) == len(sids):
+                self._by_short = merged
+                return
+        for tx, sid in zip(txs, sids):
+            self.add(tx, sid)
 
     def get(self, sid: int) -> Transaction | None:
         return self._by_short.get(sid)

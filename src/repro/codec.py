@@ -18,6 +18,19 @@ Layouts (all little-endian):
 * Transaction: ``txid 32B | size u32 | fee_rate f32 | flags u8`` -- payloads are
   synthetic in this simulation, so a transaction's wire form carries
   its metadata; *size accounting* elsewhere still charges ``tx.size``.
+
+Two execution paths produce these bytes (hot-path round 2):
+
+* a vectorized path serializing the IBLT's flat columnar arrays with
+  ``ndarray.tobytes()`` / ``np.frombuffer`` in a handful of numpy ops;
+* the original per-cell ``struct`` loops, kept as the byte-identical
+  reference and selected via :mod:`repro.fastpath` (``REPRO_FASTPATH=0``
+  or :func:`repro.fastpath.set_fastpath`).
+
+Every ``decode_*`` entry point accepts any bytes-like buffer --
+``bytes``, ``bytearray`` or ``memoryview`` -- and reads through it
+without slicing whole-body copies, so nested decodes (a Protocol 1
+payload containing S and I) parse zero-copy off one receive buffer.
 """
 
 from __future__ import annotations
@@ -25,12 +38,18 @@ from __future__ import annotations
 import math
 import struct
 
+from repro import fastpath
 from repro.chain.block import BlockHeader
 from repro.chain.transaction import Transaction
 from repro.errors import ParameterError
 from repro.pds.bloom import BloomFilter
 from repro.pds.iblt import IBLT
 from repro.utils.serialization import compact_size, read_compact_size
+
+try:  # optional vector backend (fastpath gates usage)
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
 
 _U32 = 0xFFFFFFFF
 _LN2 = math.log(2.0)
@@ -115,32 +134,26 @@ _FULL_CELL_BYTES = 18
 _FULL_CELL_STRUCT = struct.Struct("<hQQ")
 
 
-def encode_iblt(iblt: IBLT) -> bytes:
-    """Serialize an IBLT; length equals ``serialized_size()`` for the
-    lossless cell widths (``cell_bytes`` 12..18, pad field 0)."""
-    check_width = iblt.cell_bytes - 10
-    if check_width < 2 or check_width > 8:
-        out = bytearray(struct.pack("<IBIBH", iblt.cells, iblt.k,
-                                    iblt.seed & _U32, iblt.cell_bytes,
-                                    _FULL_CELL_BYTES))
-        pack_full = _FULL_CELL_STRUCT.pack
-        try:
-            for count, key_sum, check in zip(iblt._counts, iblt._key_sums,
-                                             iblt._check_sums):
-                out += pack_full(count, key_sum, check)
-        except struct.error as exc:
-            raise ParameterError(f"cell count overflows i16: {exc}") from exc
-        return bytes(out)
-    check_mask = (1 << (8 * check_width)) - 1
-    out = bytearray(struct.pack("<IBIBH", iblt.cells, iblt.k,
-                                iblt.seed & _U32, iblt.cell_bytes, 0))
+#: Bounds of the on-wire ``count i16`` field.
+_I16_MIN, _I16_MAX = -0x8000, 0x7FFF
+
+
+def _encode_cells_py(iblt: IBLT, check_width: int, full: bool) -> bytes:
+    """Reference cell serialization: per-cell ``struct`` packing."""
+    out = bytearray()
     counts = iblt._counts
     key_sums = iblt._key_sums
     check_sums = iblt._check_sums
-    cell_struct = _CELL_STRUCTS.get(check_width)
-    pack_cell = cell_struct.pack if cell_struct is not None else None
     try:
-        if pack_cell is not None:
+        if full:
+            pack_full = _FULL_CELL_STRUCT.pack
+            for count, key_sum, check in zip(counts, key_sums, check_sums):
+                out += pack_full(count, key_sum, check)
+            return bytes(out)
+        check_mask = (1 << (8 * check_width)) - 1
+        cell_struct = _CELL_STRUCTS.get(check_width)
+        if cell_struct is not None:
+            pack_cell = cell_struct.pack
             for count, key_sum, check in zip(counts, key_sums, check_sums):
                 out += pack_cell(count, key_sum, check & check_mask)
         else:
@@ -153,8 +166,100 @@ def encode_iblt(iblt: IBLT) -> bytes:
     return bytes(out)
 
 
-def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
-    """Parse an IBLT; returns ``(iblt, new_offset)``."""
+def _encode_cells_vector(iblt: IBLT, check_width: int, full: bool) -> bytes:
+    """Vectorized cell serialization: columnar arrays -> one byte grid.
+
+    Builds a ``(cells, width)`` uint8 matrix whose columns are the
+    little-endian byte views of the three cell fields and ships it with
+    one ``tobytes()`` -- byte-identical to :func:`_encode_cells_py`.
+    """
+    counts = _np.frombuffer(iblt._counts, dtype=_np.int64)
+    if counts.size and ((counts < _I16_MIN) | (counts > _I16_MAX)).any():
+        raise ParameterError(
+            "cell count overflows i16: count outside [-32768, 32767]")
+    keys = _np.frombuffer(iblt._key_sums, dtype=_np.uint64)
+    checks = _np.frombuffer(iblt._check_sums, dtype=_np.uint64)
+    cells = iblt.cells
+    width = _FULL_CELL_BYTES if full else iblt.cell_bytes
+    out_width = 8 if full else check_width
+    if not full and check_width < 8:
+        checks = checks & _np.uint64((1 << (8 * check_width)) - 1)
+    body = _np.empty((cells, width), dtype=_np.uint8)
+    body[:, 0:2] = counts.astype("<i2").view(_np.uint8).reshape(cells, 2)
+    body[:, 2:10] = keys.astype("<u8", copy=False) \
+        .view(_np.uint8).reshape(cells, 8)
+    body[:, 10:10 + out_width] = checks.astype("<u8", copy=False) \
+        .view(_np.uint8).reshape(cells, 8)[:, :out_width]
+    return body.tobytes()
+
+
+def encode_iblt(iblt: IBLT) -> bytes:
+    """Serialize an IBLT; length equals ``serialized_size()`` for the
+    lossless cell widths (``cell_bytes`` 12..18, pad field 0)."""
+    check_width = iblt.cell_bytes - 10
+    full = check_width < 2 or check_width > 8
+    header = struct.pack("<IBIBH", iblt.cells, iblt.k, iblt.seed & _U32,
+                         iblt.cell_bytes, _FULL_CELL_BYTES if full else 0)
+    if _np is not None and fastpath.fastpath_enabled():
+        return header + _encode_cells_vector(iblt, check_width, full)
+    return header + _encode_cells_py(iblt, check_width, full)
+
+
+def _decode_cells_py(iblt: IBLT, data, offset: int, body: int,
+                     check_width: int, full: bool) -> None:
+    """Reference cell parse: per-cell ``iter_unpack`` into the columns."""
+    counts = iblt._counts
+    key_sums = iblt._key_sums
+    check_sums = iblt._check_sums
+    if full:
+        for i, (count, key_sum, check) in enumerate(
+                _FULL_CELL_STRUCT.iter_unpack(data[offset:offset + body])):
+            counts[i] = count
+            key_sums[i] = key_sum
+            check_sums[i] = check
+        return
+    cell_struct = _CELL_STRUCTS.get(check_width)
+    if cell_struct is not None:
+        i = 0
+        for count, key_sum, check in cell_struct.iter_unpack(
+                data[offset:offset + body]):
+            counts[i] = count
+            key_sums[i] = key_sum
+            check_sums[i] = check
+            i += 1
+        return
+    unpack_ck = _COUNT_KEY_STRUCT.unpack_from
+    for i in range(iblt.cells):
+        counts[i], key_sums[i] = unpack_ck(data, offset)
+        offset += 10
+        check_sums[i] = int.from_bytes(
+            data[offset:offset + check_width], "little")
+        offset += check_width
+
+
+def _decode_cells_vector(iblt: IBLT, data, offset: int, body: int,
+                         check_width: int, full: bool) -> None:
+    """Vectorized cell parse: one ``frombuffer`` view, three column fills.
+
+    Reads the wire bytes in place (no body-slice copy, any bytes-like
+    buffer) and writes the columnar arrays through writable numpy views.
+    """
+    width = _FULL_CELL_BYTES if full else iblt.cell_bytes
+    out_width = 8 if full else check_width
+    grid = _np.frombuffer(data, dtype=_np.uint8, count=body,
+                          offset=offset).reshape(iblt.cells, width)
+    _np.frombuffer(iblt._counts, dtype=_np.int64)[:] = \
+        _np.ascontiguousarray(grid[:, 0:2]).view("<i2").ravel()
+    _np.frombuffer(iblt._key_sums, dtype=_np.uint64)[:] = \
+        _np.ascontiguousarray(grid[:, 2:10]).view("<u8").ravel()
+    padded = _np.zeros((iblt.cells, 8), dtype=_np.uint8)
+    padded[:, :out_width] = grid[:, 10:10 + out_width]
+    _np.frombuffer(iblt._check_sums, dtype=_np.uint64)[:] = \
+        padded.view("<u8").ravel()
+
+
+def decode_iblt(data, offset: int = 0) -> tuple[IBLT, int]:
+    """Parse an IBLT from any bytes-like buffer; ``(iblt, new_offset)``."""
     if offset + 12 > len(data):
         raise ParameterError("buffer exhausted while reading IBLT header")
     cells, k, seed, cell_bytes, pad = struct.unpack_from(
@@ -181,36 +286,14 @@ def decode_iblt(data: bytes, offset: int = 0) -> tuple[IBLT, int]:
     if offset + body > len(data):
         raise ParameterError("buffer exhausted while reading IBLT cells")
     iblt = IBLT(cells, k=k, seed=seed, cell_bytes=cell_bytes)
-    counts = iblt._counts
-    key_sums = iblt._key_sums
-    check_sums = iblt._check_sums
-    if pad == _FULL_CELL_BYTES:
-        for i, (count, key_sum, check) in enumerate(
-                _FULL_CELL_STRUCT.iter_unpack(data[offset:offset + body])):
-            counts[i] = count
-            key_sums[i] = key_sum
-            check_sums[i] = check
-        return iblt, offset + body
+    iblt._pristine = False  # columns are written below, outside IBLT
+    full = pad == _FULL_CELL_BYTES
     check_width = cell_bytes - 10
-    cell_struct = _CELL_STRUCTS.get(check_width)
-    if cell_struct is not None:
-        i = 0
-        for count, key_sum, check in cell_struct.iter_unpack(
-                data[offset:offset + body]):
-            counts[i] = count
-            key_sums[i] = key_sum
-            check_sums[i] = check
-            i += 1
-        offset += body
+    if _np is not None and fastpath.fastpath_enabled():
+        _decode_cells_vector(iblt, data, offset, body, check_width, full)
     else:
-        unpack_ck = _COUNT_KEY_STRUCT.unpack_from
-        for i in range(cells):
-            counts[i], key_sums[i] = unpack_ck(data, offset)
-            offset += 10
-            check_sums[i] = int.from_bytes(
-                data[offset:offset + check_width], "little")
-            offset += check_width
-    return iblt, offset
+        _decode_cells_py(iblt, data, offset, body, check_width, full)
+    return iblt, offset + body
 
 
 # ---------------------------------------------------------------------------
@@ -232,8 +315,8 @@ def decode_block_header(blob: bytes, offset: int = 0) -> BlockHeader:
             f"header must be {BLOCK_HEADER_BYTES} bytes, "
             f"got {len(blob) - offset}")
     version = int.from_bytes(blob[offset:offset + 4], "little")
-    prev_hash = blob[offset + 4:offset + 36]
-    merkle_root = blob[offset + 36:offset + 68]
+    prev_hash = bytes(blob[offset + 4:offset + 36])
+    merkle_root = bytes(blob[offset + 36:offset + 68])
     timestamp, bits, nonce = struct.unpack_from("<III", blob, offset + 68)
     return BlockHeader(version=version, prev_hash=prev_hash,
                        merkle_root=merkle_root, timestamp=timestamp,
@@ -254,17 +337,29 @@ def decode_transaction(data: bytes, offset: int = 0) -> tuple[Transaction, int]:
     """Parse a transaction; returns ``(tx, new_offset)``."""
     if offset + 41 > len(data):
         raise ParameterError("buffer exhausted while reading transaction")
-    txid = data[offset:offset + 32]
+    txid = bytes(data[offset:offset + 32])
     size, fee_rate, flags = struct.unpack_from("<IfB", data, offset + 32)
     return Transaction(txid=txid, size=size, fee_rate=fee_rate,
                        is_coinbase=bool(flags & 1)), offset + 41
 
 
 def encode_tx_list(txs) -> bytes:
-    """CompactSize count followed by each transaction."""
-    parts = [compact_size(len(txs))]
-    parts.extend(encode_transaction(tx) for tx in txs)
-    return b"".join(parts)
+    """CompactSize count followed by each transaction.
+
+    Assembled into one preallocated buffer (41 bytes per transaction
+    after the CompactSize head) rather than joining per-tx fragments.
+    """
+    head = compact_size(len(txs))
+    out = bytearray(len(head) + 41 * len(txs))
+    out[:len(head)] = head
+    pos = len(head)
+    pack_meta = struct.pack_into
+    for tx in txs:
+        out[pos:pos + 32] = tx.txid
+        pack_meta("<IfB", out, pos + 32, tx.size, tx.fee_rate,
+                  1 if tx.is_coinbase else 0)
+        pos += 41
+    return bytes(out)
 
 
 def decode_tx_list(data: bytes, offset: int = 0) -> tuple[list, int]:

@@ -69,7 +69,7 @@ from repro.core.protocol2 import (
     respond_protocol2,
 )
 from repro.core.sizing import getdata_bytes, inv_bytes, short_id_request_bytes
-from repro.core.telemetry import MessageEvent
+from repro.core.telemetry import EventRecorder, MessageEvent
 from repro.errors import ParameterError, ProtocolFailure
 
 
@@ -180,7 +180,17 @@ class GrapheneSenderEngine:
         self.txs = list(block.txs) if block is not None else list(txs)
         self.mempool_mode = block is None
         self.config = config or GrapheneConfig()
-        self.telemetry = telemetry if telemetry is not None else []
+        self.telemetry = telemetry if telemetry is not None \
+            else EventRecorder()
+        #: Wire command -> bound step method, resolved once instead of
+        #: a ``getattr`` per message (see :meth:`handle`).
+        self._steps = {command: getattr(self, step)
+                       for command, step in SENDER_STEPS.items()}
+        #: Served P1 payloads keyed by the requester's mempool count m:
+        #: ``build_protocol1`` is deterministic in (txs, m, config), and
+        #: a sender fans the same block out to many peers whose counts
+        #: repeat.  Bounded; oldest half evicted at the cap.
+        self._p1_cache: dict = {}
 
     def _emit(self, command: str, message: bytes, phase: str,
               roundtrip: int, parts: dict) -> EngineAction:
@@ -190,19 +200,28 @@ class GrapheneSenderEngine:
         self.telemetry.append(event)
         return EngineAction(ActionKind.SEND, command, message, event=event)
 
+    #: Bound on the per-engine served-payload cache.
+    P1_CACHE_CAP = 64
+
     def on_getdata(self, message: bytes) -> EngineAction:
         """Handle a getdata carrying the receiver's mempool count."""
         if len(message) < 4:
             raise ParameterError("getdata too short")
         (m,) = struct.unpack_from("<I", message, 0)
-        payload = build_protocol1(
-            self.txs, m, self.config,
-            auto_prefill_coinbase=not self.mempool_mode)
-        blob = encode_protocol1_payload(payload)
-        if not self.mempool_mode:
-            blob = self.block.header.serialize() + blob
-        return self._emit("graphene_block", blob, "p1", 1,
-                          _p1_parts(payload))
+        cached = self._p1_cache.get(m)
+        if cached is None:
+            payload = build_protocol1(
+                self.txs, m, self.config,
+                auto_prefill_coinbase=not self.mempool_mode)
+            blob = encode_protocol1_payload(payload)
+            if not self.mempool_mode:
+                blob = self.block.header.serialize() + blob
+            if len(self._p1_cache) >= self.P1_CACHE_CAP:
+                for stale in list(self._p1_cache)[:self.P1_CACHE_CAP // 2]:
+                    del self._p1_cache[stale]
+            cached = self._p1_cache[m] = (blob, _p1_parts(payload))
+        blob, parts = cached
+        return self._emit("graphene_block", blob, "p1", 1, dict(parts))
 
     def on_p2_request(self, message: bytes) -> EngineAction:
         """Handle a Protocol 2 request (R, y*, b)."""
@@ -230,12 +249,17 @@ class GrapheneSenderEngine:
         return self._emit("block_txs", encode_tx_list(txs), "fetch", 3,
                           {"fetched_tx_bytes": sum(tx.size for tx in txs)})
 
-    def handle(self, command: str, message: bytes) -> EngineAction:
-        """Dispatch on the wire command via :data:`SENDER_STEPS`."""
-        step = SENDER_STEPS.get(command)
+    def handle(self, command: str, message) -> EngineAction:
+        """Dispatch on the wire command via :data:`SENDER_STEPS`.
+
+        Inbound ``bytes`` are wrapped in a :class:`memoryview` so the
+        decode stack reads the receive buffer in place (zero-copy).
+        """
+        step = self._steps.get(command)
         if step is None:
             raise ParameterError(f"sender cannot handle {command!r}")
-        return getattr(self, step)(message)
+        return step(memoryview(message) if type(message) is bytes
+                    else message)
 
 
 class GrapheneReceiverEngine:
@@ -260,7 +284,10 @@ class GrapheneReceiverEngine:
         self.mempool = mempool
         self.config = config or GrapheneConfig()
         self.mode = mode
-        self.telemetry = telemetry if telemetry is not None else []
+        self.telemetry = telemetry if telemetry is not None \
+            else EventRecorder()
+        self._steps = {command: getattr(self, step)
+                       for command, step in RECEIVER_STEPS.items()}
         self.phase = ReceiverPhase.IDLE
         self.header: Optional[BlockHeader] = None
         self._p2_state: Optional[Protocol2ReceiverState] = None
@@ -447,21 +474,26 @@ class GrapheneReceiverEngine:
             return self._complete(sorted(self.reconciled.values(),
                                          key=lambda tx: tx.txid))
         probe = self._probe()
-        ordered = list(self.reconciled.values())
-        if probe.validate_candidate(ordered):
+        ordered = probe.validated_order(list(self.reconciled.values()))
+        if ordered is not None:
             self._record("block_txs", "received", "fetch", roundtrip,
                          parts, outcome="done")
-            return self._complete(probe.require_valid(ordered))
+            return self._complete(ordered)
         self._record("block_txs", "received", "fetch", roundtrip,
                      parts, outcome="failed")
         return self._fail()
 
-    def handle(self, command: str, message: bytes) -> EngineAction:
-        """Dispatch on the wire command via :data:`RECEIVER_STEPS`."""
-        step = RECEIVER_STEPS.get(command)
+    def handle(self, command: str, message) -> EngineAction:
+        """Dispatch on the wire command via :data:`RECEIVER_STEPS`.
+
+        Inbound ``bytes`` are wrapped in a :class:`memoryview` so the
+        decode stack reads the receive buffer in place (zero-copy).
+        """
+        step = self._steps.get(command)
         if step is None:
             raise ParameterError(f"receiver cannot handle {command!r}")
-        return getattr(self, step)(message)
+        return step(memoryview(message) if type(message) is bytes
+                    else message)
 
     # ------------------------------------------------------------------
     # Recovery hooks (timeout/retry drivers, see repro.net.recovery)

@@ -127,6 +127,14 @@ def closed_form_a(n: int, tau: float, cell_bytes: int) -> int:
     return max(1, round(n / (8.0 * cell_bytes * tau * ln2sq)))
 
 
+#: Memoized Protocol 1 plans keyed ``(n, m, config)``.  The sweep over
+#: candidate ``a`` values re-runs for every relay of the same block to
+#: a similarly-sized mempool; plans are frozen, so sharing the result
+#: is safe.  Bounded: oldest half evicted at the cap.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_CAP = 4096
+
+
 def optimize_a(n: int, m: int, config: Optional[GrapheneConfig] = None) -> FilterIBLTPlan:
     """Choose ``a`` minimizing the total size of Bloom filter S and IBLT I.
 
@@ -139,6 +147,20 @@ def optimize_a(n: int, m: int, config: Optional[GrapheneConfig] = None) -> Filte
     config = config or GrapheneConfig()
     if n < 0 or m < 0:
         raise ParameterError(f"n and m must be non-negative: {n}, {m}")
+    key = (n, m, config)
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    plan = _optimize_a_uncached(n, m, config)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
+        for stale in list(_PLAN_CACHE)[:_PLAN_CACHE_CAP // 2]:
+            del _PLAN_CACHE[stale]
+    _PLAN_CACHE[key] = plan
+    return plan
+
+
+def _optimize_a_uncached(n: int, m: int,
+                         config: GrapheneConfig) -> FilterIBLTPlan:
     table = config.table()
     excess = m - n
     if n == 0:

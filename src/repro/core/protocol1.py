@@ -149,13 +149,16 @@ def receive_protocol1(payload: Protocol1Payload, mempool: Mempool,
     # candidate set Z.
     pool = [tx for tx in mempool if tx.txid not in candidates]
     for tx, hit in zip(pool, payload.bloom_s.contains_many(
-            tx.txid for tx in pool)):
+            [tx.txid for tx in pool])):
         if hit:
             candidates[tx.txid] = tx
-    for tx in candidates.values():
-        index.add(tx)
-    iblt_prime.update(tx.short_id(config.short_id_bytes)
-                      for tx in candidates.values())
+    # One short-id computation per candidate, shared by the index, the
+    # receiver IBLT and the false-positive strip below.
+    width = config.short_id_bytes
+    cand_txs = list(candidates.values())
+    cand_sids = [tx.short_id(width) for tx in cand_txs]
+    index.bulk_add(cand_txs, cand_sids)
+    iblt_prime.update(cand_sids)
 
     diff = payload.iblt_i.subtract(iblt_prime)
     decode = diff.decode()
@@ -168,19 +171,19 @@ def receive_protocol1(payload: Protocol1Payload, mempool: Mempool,
     # decode.local: short IDs in the block but not the candidate set --
     # transactions the receiver is missing.  Protocol 1 cannot repair
     # those; escalate.  decode.remote: false positives to strip from Z.
-    surviving = [
-        tx for tx in candidates.values()
-        if tx.short_id(config.short_id_bytes) not in decode.remote
-    ]
+    remote = decode.remote
+    surviving = [tx for tx, sid in zip(cand_txs, cand_sids)
+                 if sid not in remote]
     result.reconciled = surviving
     if decode.local:
         result.missing_short_ids = decode.local
         return result
     if validate_block is not None:
-        if not validate_block.validate_candidate(surviving):
+        ordered = validate_block.validated_order(surviving)
+        if ordered is None:
             return result
         result.merkle_ok = True
-        result.txs = validate_block.require_valid(surviving)
+        result.txs = ordered
     else:
         result.txs = sorted(surviving, key=lambda tx: tx.txid)
     result.success = True

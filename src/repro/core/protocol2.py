@@ -296,10 +296,11 @@ def finish_protocol2(response: Protocol2Response,
 
     txs = list(surviving.values())
     if validate_block is not None:
-        if not validate_block.validate_candidate(txs):
+        ordered = validate_block.validated_order(txs)
+        if ordered is None:
             return result
         result.merkle_ok = True
-        result.txs = validate_block.require_valid(txs)
+        result.txs = ordered
     else:
         result.txs = sorted(txs, key=lambda tx: tx.txid)
     result.success = True

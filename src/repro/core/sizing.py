@@ -93,8 +93,22 @@ class CostBreakdown:
         Each :class:`~repro.core.telemetry.MessageEvent` carries its
         byte decomposition keyed by the field names of this class, so
         the engines' event stream *is* the cost accounting.
+
+        An :class:`~repro.core.telemetry.EventRecorder` stream already
+        holds the per-part totals, so it folds in O(parts); any other
+        iterable (or a recorder mutated behind its aggregates, or one
+        carrying an unknown part name) takes the per-event reference
+        loop, whose error message names the offending event.
         """
+        from repro.core.telemetry import EventRecorder
+
         valid = {spec.name for spec in fields(cls)}
+        if (isinstance(events, EventRecorder) and events.consistent()
+                and set(events.part_totals) <= valid):
+            cost = cls()
+            for name, nbytes in events.part_totals.items():
+                setattr(cost, name, nbytes)
+            return cost
         cost = cls()
         for event in events:
             for name, nbytes in event.parts.items():

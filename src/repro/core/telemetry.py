@@ -46,9 +46,15 @@ OUTCOMES = ("", "decoded", "fallback", "fetch", "done", "failed",
             "timeout", "retry")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageEvent:
-    """One message observed by an engine endpoint."""
+    """One message observed by an engine endpoint.
+
+    ``slots=True`` keeps the per-message footprint flat (no instance
+    ``__dict__``), and ``wire_bytes`` is computed once at construction
+    instead of summing ``parts`` on every consumer read -- relays emit
+    thousands of these, so both matter on the hot path.
+    """
 
     command: str
     direction: str  # "sent" | "received", relative to `role`
@@ -61,6 +67,10 @@ class MessageEvent:
     #: "fallback", "fetch", "done", "failed") or mark a recovery step
     #: ("timeout", "retry"); see :data:`OUTCOMES`.
     outcome: str = ""
+    #: Total bytes this message is accounted at on the wire.  Derived
+    #: from ``parts`` in ``__post_init__``; any value passed in is
+    #: overwritten, so it can never disagree with the decomposition.
+    wire_bytes: int = 0
 
     def __post_init__(self):
         if self.direction not in DIRECTIONS:
@@ -71,15 +81,13 @@ class MessageEvent:
             raise ParameterError(f"bad phase {self.phase!r}")
         if self.outcome not in OUTCOMES:
             raise ParameterError(f"bad outcome {self.outcome!r}")
+        total = 0
         for name, nbytes in self.parts.items():
             if nbytes < 0:
                 raise ParameterError(
                     f"negative byte count for part {name!r}: {nbytes}")
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes this message is accounted at on the wire."""
-        return sum(self.parts.values())
+            total += nbytes
+        object.__setattr__(self, "wire_bytes", total)
 
     def as_dict(self) -> dict:
         """A plain-JSON view (trace/JSONL export, ``repro.obs``)."""
@@ -95,6 +103,61 @@ class MessageEvent:
         }
 
 
+class EventRecorder(list):
+    """An event stream that folds aggregates as events are appended.
+
+    The engines, nodes and recovery ladder only ever ``append`` to
+    their telemetry streams, while every consumer
+    (``CostBreakdown.from_events``, the ``repro.obs`` metrics fold,
+    :func:`total_wire_bytes`) re-walks the whole stream per query.
+    This subclass keeps the running aggregates those consumers need --
+    byte totals per part, message counts per direction, bytes per
+    phase, counts and bytes per outcome -- updated in O(parts) at
+    append time, so the queries become dict reads instead of per-event
+    loops over freshly allocated dicts.
+
+    Everything else behaves like the plain list the rest of the
+    package expects.  If a stream is ever mutated through any other
+    list operation the aggregates go stale; :meth:`consistent` detects
+    that (appends are counted) and consumers then fall back to their
+    per-event reference loops, so the fast path can never return
+    different numbers than the slow one.
+    """
+
+    __slots__ = ("_folded", "part_totals", "direction_counts",
+                 "phase_bytes", "outcome_counts", "outcome_bytes")
+
+    def __init__(self):
+        super().__init__()
+        self._folded = 0
+        self.part_totals: dict = {}
+        self.direction_counts: dict = {}
+        self.phase_bytes: dict = {}
+        self.outcome_counts: dict = {}
+        self.outcome_bytes: dict = {}
+
+    def append(self, event: MessageEvent) -> None:
+        super().append(event)
+        self._folded += 1
+        totals = self.part_totals
+        for name, nbytes in event.parts.items():
+            totals[name] = totals.get(name, 0) + nbytes
+        counts = self.direction_counts
+        counts[event.direction] = counts.get(event.direction, 0) + 1
+        phases = self.phase_bytes
+        phases[event.phase] = phases.get(event.phase, 0) + event.wire_bytes
+        if event.outcome:
+            outcomes = self.outcome_counts
+            outcomes[event.outcome] = outcomes.get(event.outcome, 0) + 1
+            obytes = self.outcome_bytes
+            obytes[event.outcome] = \
+                obytes.get(event.outcome, 0) + event.wire_bytes
+
+    def consistent(self) -> bool:
+        """True while every element arrived through :meth:`append`."""
+        return self._folded == len(self)
+
+
 def total_wire_bytes(events, include_txs: bool = False) -> int:
     """Sum of event wire bytes, with the paper's default accounting.
 
@@ -103,6 +166,9 @@ def total_wire_bytes(events, include_txs: bool = False) -> int:
     :meth:`~repro.core.sizing.CostBreakdown.total`.
     """
     tx_parts = ("pushed_tx_bytes", "fetched_tx_bytes")
+    if isinstance(events, EventRecorder) and events.consistent():
+        return sum(nbytes for name, nbytes in events.part_totals.items()
+                   if include_txs or name not in tx_parts)
     total = 0
     for event in events:
         for name, nbytes in event.parts.items():

@@ -1,0 +1,49 @@
+"""Process-wide switch between the vectorized and pure-Python hot paths.
+
+Hot-path round 2 gave the wire codecs numpy-vectorized encode/decode
+bodies (``ndarray.tobytes()`` / ``np.frombuffer`` over the columnar
+IBLT arrays) while keeping the original per-cell ``struct`` loops as
+the reference implementation.  Both paths are byte-identical -- the
+golden-vector tests in ``tests/test_codec_fastpath.py`` pin that for
+every artifact in ``tests/corpus/`` -- so which one runs is purely an
+execution-speed choice:
+
+* default: vectorized wherever numpy is importable;
+* ``REPRO_FASTPATH=0`` in the environment forces the pure-Python
+  reference paths (useful for debugging and for numpy-free installs);
+* :func:`set_fastpath` flips the switch at runtime (parity tests run
+  both sides in one process).
+
+The flag gates *implementation selection only*.  Protocol behaviour,
+wire bytes and decode results never depend on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # the toolchain ships numpy, but installs without it must degrade
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via set_fastpath(False)
+    _np = None
+
+#: Whether the vectorized codec bodies are selected.  Start from the
+#: environment; numpy's absence forces the pure paths regardless.
+_enabled = (_np is not None
+            and os.environ.get("REPRO_FASTPATH", "1") != "0")
+
+
+def fastpath_enabled() -> bool:
+    """True when the vectorized codec paths are active."""
+    return _enabled
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Select (or deselect) the vectorized paths; returns the new state.
+
+    Enabling is refused (returns False) when numpy is unavailable, so
+    callers can unconditionally restore a saved state.
+    """
+    global _enabled
+    _enabled = bool(enabled) and _np is not None
+    return _enabled

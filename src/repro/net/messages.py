@@ -33,7 +33,7 @@ COMMANDS = frozenset({
 })
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetMessage:
     """One message in flight between two peers."""
 

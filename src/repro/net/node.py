@@ -23,7 +23,6 @@ from repro.baselines.compact_blocks import compact_blocks_bytes, index_width
 from repro.baselines.xthin import XTHIN_MEMPOOL_FPR, xthin_star_bytes
 from repro.chain.block import Block
 from repro.chain.mempool import Mempool
-from repro.chain.ordering import canonical_order
 from repro.chain.transaction import SHORT_ID_BYTES, Transaction
 from repro.core.engine import (
     ActionKind,
@@ -33,6 +32,7 @@ from repro.core.engine import (
     SENDER_STEPS,
 )
 from repro.core.params import GrapheneConfig
+from repro.core.telemetry import EventRecorder
 from repro.core.sizing import (
     INV_ENTRY_BYTES,
     MSG_HEADER_BYTES,
@@ -157,15 +157,19 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         self.relay_failures = 0
         self.relay_retries = 0
         self.relay_timeouts = 0
+        #: Wire command -> bound handler, filled lazily by
+        #: :meth:`receive` so bursts skip the per-message
+        #: frozenset test + ``getattr`` name lookup.
+        self._handlers: dict = {}
 
     # ------------------------------------------------------------------
     # Observability (see repro.obs)
     # ------------------------------------------------------------------
 
     def _telemetry_stream(self, kind: str, key) -> list:
-        """A telemetry list for one exchange, traced when a tracer is set."""
+        """A telemetry stream for one exchange, traced when a tracer is set."""
         if self.tracer is None:
-            return []
+            return EventRecorder()
         return self.tracer.stream(self.node_id, kind, key)
 
     def _trace_mark(self, kind: str, key, name: str, **detail) -> None:
@@ -289,12 +293,17 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
     # ------------------------------------------------------------------
 
     def receive(self, sender: "Node", message: NetMessage) -> None:
-        if message.command in _ENGINE_COMMANDS:
-            self._on_graphene_wire(sender, message.command, message.payload)
-            return
-        handler = getattr(self, f"_on_{message.command}", None)
+        command = message.command
+        handler = self._handlers.get(command)
         if handler is None:
-            raise ParameterError(f"no handler for {message.command!r}")
+            if command in _ENGINE_COMMANDS:
+                def handler(peer, payload, _command=command):
+                    self._on_graphene_wire(peer, _command, payload)
+            else:
+                handler = getattr(self, f"_on_{command}", None)
+                if handler is None:
+                    raise ParameterError(f"no handler for {command!r}")
+            self._handlers[command] = handler
         handler(sender, message.payload)
 
     def _on_inv(self, sender: "Node", payload) -> None:
@@ -551,10 +560,11 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
 
     def _try_accept_candidate(self, sender: "Node", root: bytes,
                               header, txs) -> bool:
-        ordered = tuple(canonical_order(list(txs)))
-        candidate = Block(header=header, txs=ordered)
-        if candidate.validate_candidate(list(ordered)):
-            self._accept_block(candidate, origin=sender)
+        probe = Block(header=header, txs=())
+        ordered = probe.validated_order(list(txs))
+        if ordered is not None:
+            self._accept_block(Block(header=header, txs=tuple(ordered)),
+                               origin=sender)
             return True
         return False
 

@@ -32,17 +32,28 @@ from typing import Callable, FrozenSet, Optional, Tuple
 from repro.errors import ParameterError
 
 
-@dataclass
+@dataclass(slots=True)
 class EventHandle:
     """Cancellation token for one scheduled event (lazy deletion)."""
 
     cancelled: bool = False
+    #: Owning simulator, set on push; lets :meth:`cancel` keep the
+    #: simulator's live-event counter exact without a heap scan.
+    _sim: Optional["Simulator"] = field(default=None, repr=False)
+    #: True once this event left the live count (popped or cancelled),
+    #: guarding the counter against double decrements -- e.g. cancelling
+    #: a handle whose event already fired.
+    _done: bool = field(default=False, repr=False)
 
     def cancel(self) -> None:
         self.cancelled = True
+        if not self._done:
+            self._done = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultInjector:
     """Deterministic fault plan for one direction of one link.
 
@@ -77,7 +88,7 @@ class FaultInjector:
         return hit
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
     """A directed link: latency (s), bandwidth (bytes/s), optional loss.
 
@@ -109,12 +120,22 @@ class Link:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ParameterError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate}")
-        if self.loss_rate and self.loss_seed is not None:
-            self._loss_rng = random.Random(self.loss_seed)
+        # The loss stream is resolved at construction: an explicit seed
+        # pins it, and a standalone lossy link (never wired through
+        # Node.connect) falls back to seed 0 -- so drops() is a pure
+        # query that never mutates config fields as a side effect.
+        if self.loss_rate:
+            self._loss_rng = random.Random(
+                self.loss_seed if self.loss_seed is not None else 0)
 
     def ensure_loss_seed(self, seed: int) -> None:
-        """Adopt ``seed`` unless an explicit seed was already chosen."""
-        if self.loss_seed is None and self._loss_rng is None:
+        """Adopt ``seed`` unless an explicit seed was already chosen.
+
+        A wiring-time call (``Node.connect`` issues it right after the
+        link is attached, before any traffic): adopting a seed restarts
+        the loss stream from it.
+        """
+        if self.loss_seed is None:
             self.loss_seed = seed
             if self.loss_rate:
                 self._loss_rng = random.Random(seed)
@@ -126,14 +147,13 @@ class Link:
         one is attached; the random loss stream is only consulted for
         messages the fault plan lets through, so attaching a plan does
         not perturb the seeded loss sequence of surviving traffic.
+        Read-only on the link's configuration (the stream itself is
+        resolved in ``__post_init__`` / :meth:`ensure_loss_seed`).
         """
         if self.fault is not None and self.fault.should_drop(now, command):
             return True
         if not self.loss_rate:
             return False
-        if self._loss_rng is None:  # standalone link never given a seed
-            self.loss_seed = 0 if self.loss_seed is None else self.loss_seed
-            self._loss_rng = random.Random(self.loss_seed)
         return self._loss_rng.random() < self.loss_rate
 
     def transmit_schedule(self, now: float, nbytes: int) -> float:
@@ -152,11 +172,15 @@ class Simulator:
         self._seq = itertools.count()
         self.now = 0.0
         self.events_processed = 0
+        #: Live (non-cancelled, not yet fired) events; maintained on
+        #: push/pop/cancel so :attr:`pending` is O(1).
+        self._live = 0
 
     def _push(self, when: float, callback: Callable[[], None]) -> EventHandle:
-        handle = EventHandle()
+        handle = EventHandle(_sim=self)
         heapq.heappush(self._queue,
                        (when, next(self._seq), callback, handle))
+        self._live += 1
         return handle
 
     def schedule(self, delay: float,
@@ -193,6 +217,8 @@ class Simulator:
             if until is not None and when > until:
                 break
             heapq.heappop(self._queue)
+            handle._done = True
+            self._live -= 1
             self.now = when
             self.events_processed += 1
             callback()
@@ -202,5 +228,5 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Live (non-cancelled) events still queued."""
-        return sum(1 for *_, handle in self._queue if not handle.cancelled)
+        """Live (non-cancelled) events still queued (O(1))."""
+        return self._live

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.telemetry import EventRecorder
 from repro.errors import ParameterError
 
 #: Default latency buckets (seconds) for exchange-duration histograms --
@@ -208,6 +209,27 @@ class MetricsRegistry:
 
 def _fold_stream(registry: MetricsRegistry, prefix: str, node_id: str,
                  events) -> None:
+    if isinstance(events, EventRecorder) and events.consistent():
+        # The recorder already folded this stream at append time; emit
+        # its aggregates straight into the counters.  Same numbers as
+        # the per-event loop below (series identity is name + labels;
+        # snapshot order is sorted), just without re-walking the stream.
+        for direction, count in events.direction_counts.items():
+            registry.counter(f"{prefix}_messages", node=node_id,
+                             direction=direction).inc(count)
+        for phase, nbytes in events.phase_bytes.items():
+            registry.counter(f"{prefix}_bytes", node=node_id,
+                             phase=phase).inc(nbytes)
+        for part, nbytes in events.part_totals.items():
+            registry.counter(f"{prefix}_part_bytes", node=node_id,
+                             part=part).inc(nbytes)
+        for outcome, count in events.outcome_counts.items():
+            registry.counter(f"{prefix}_outcomes", node=node_id,
+                             outcome=outcome).inc(count)
+        for outcome, nbytes in events.outcome_bytes.items():
+            registry.counter(f"{prefix}_outcome_bytes", node=node_id,
+                             outcome=outcome).inc(nbytes)
+        return
     for event in events:
         registry.counter(f"{prefix}_messages", node=node_id,
                          direction=event.direction).inc()

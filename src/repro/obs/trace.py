@@ -10,8 +10,8 @@ and as a human-readable timeline.
 
 The tracer is a pure observer.  It never schedules events, never
 consumes link randomness, and records through
-:class:`TracedStream` -- a ``list`` subclass the nodes use *in place
-of* the plain telemetry lists, so every consumer of those lists
+:class:`TracedStream` -- an ``EventRecorder`` subclass the nodes use
+*in place of* the plain telemetry streams, so every consumer of them
 (``CostBreakdown.from_events``, the experiment drivers, the retention
 caps) is oblivious to it.  A traced run is therefore byte- and
 clock-identical to an untraced one (pinned by ``tests/test_obs.py``).
@@ -33,7 +33,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.telemetry import MessageEvent
+from repro.core.telemetry import EventRecorder, MessageEvent
 
 #: Exchange kinds the node layer emits (manual streams may add more).
 SPAN_KINDS = ("relay", "serve", "sync", "sync-serve")
@@ -79,14 +79,17 @@ class TraceMark:
         return {"t": self.t, "name": self.name, "detail": dict(self.detail)}
 
 
-class TracedStream(list):
-    """A telemetry list that reports appends to its tracer.
+class TracedStream(EventRecorder):
+    """A telemetry stream that also reports appends to its tracer.
 
     Engines and the recovery subsystem only ever ``append`` to their
     telemetry lists, so that is the one traced operation; everything
-    else (iteration, folding, pruning) behaves like the plain list the
-    rest of the package expects.
+    else (iteration, folding, pruning) behaves like the
+    :class:`~repro.core.telemetry.EventRecorder` the untraced nodes
+    use, keeping traced and untraced runs on the same fast folds.
     """
+
+    __slots__ = ("tracer", "node", "kind", "key")
 
     def __init__(self, tracer: "Tracer", node: str, kind: str, key: str):
         super().__init__()

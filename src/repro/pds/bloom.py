@@ -41,6 +41,34 @@ _U64 = 0xFFFFFFFFFFFFFFFF
 #: Below this many items the scalar loop beats numpy's fixed call overhead.
 _BATCH_MIN = 32
 
+#: Seeded-digest cache shared across *all* filter instances, keyed
+#: ``(seed, item)``.  The protocols rebuild filters with the same
+#: derived seed for every relay of the same block (S, R, F use fixed
+#: seed offsets), so the SHA-256 over each txid repeats across filters;
+#: a digest depends only on ``(seed, item)``, making cross-instance
+#: sharing deterministic.  Bounded: oldest half evicted at the cap.
+_DIGEST_CACHE: dict = {}
+_DIGEST_CACHE_CAP = 1 << 17
+
+
+def _remember_digest(key: tuple, digest: bytes) -> bytes:
+    if len(_DIGEST_CACHE) >= _DIGEST_CACHE_CAP:
+        for stale in list(_DIGEST_CACHE)[:_DIGEST_CACHE_CAP // 2]:
+            del _DIGEST_CACHE[stale]
+    _DIGEST_CACHE[key] = digest
+    return digest
+
+
+#: Whole-batch digest-blob cache for :meth:`BloomFilter._batch_indices`,
+#: keyed ``(seed, item_count, sha256(joined items))``.  A relay sweeps
+#: the *same* mempool txid list through a filter of the same seed on
+#: every block, so the concatenated per-item digest blob repeats batch
+#: for batch; one join plus one SHA-256 replaces the per-item cache
+#: loop.  Only fixed-width (32-byte) items use it -- with the count in
+#: the key the concatenation is then unambiguous.
+_BLOB_CACHE: dict = {}
+_BLOB_CACHE_CAP = 256
+
 
 def bloom_size_bits(n: int, f: float) -> int:
     """Return the optimal bit count for ``n`` items at false positive rate ``f``."""
@@ -137,9 +165,13 @@ class BloomFilter:
 
     def _digest(self, item: bytes) -> bytes:
         if self.seed:
-            h = self._seed_mid.copy()
-            h.update(item)
-            return h.digest()
+            key = (self.seed, item)
+            digest = _DIGEST_CACHE.get(key)
+            if digest is None:
+                h = self._seed_mid.copy()
+                h.update(item)
+                digest = _remember_digest(key, h.digest())
+            return digest
         # Transaction IDs are already cryptographic hashes; reuse them
         # directly (hash-splitting, paper 6.3) when no reseeding is needed.
         return item if len(item) >= 32 else sha256(item)
@@ -180,19 +212,43 @@ class BloomFilter:
         if _np is None:
             return None
         if self.seed:
+            seed = self.seed
+            joined = b"".join(items)
+            blob_key = None
+            if len(joined) == 32 * len(items):
+                blob_key = (seed, len(items),
+                            hashlib.sha256(joined).digest())
+                blob = _BLOB_CACHE.get(blob_key)
+                if blob is not None:
+                    words = _np.frombuffer(blob, dtype="<u4")
+                    return self._split_words(words.reshape(len(items), 8))
             mid = self._seed_mid
+            cache = _DIGEST_CACHE
             digests = []
             append = digests.append
             for item in items:
-                h = mid.copy()
-                h.update(item)
-                append(h.digest())
+                key = (seed, item)
+                digest = cache.get(key)
+                if digest is None:
+                    h = mid.copy()
+                    h.update(item)
+                    digest = _remember_digest(key, h.digest())
+                append(digest)
             blob = b"".join(digests)
+            if blob_key is not None:
+                if len(_BLOB_CACHE) >= _BLOB_CACHE_CAP:
+                    for stale in list(_BLOB_CACHE)[:_BLOB_CACHE_CAP // 2]:
+                        del _BLOB_CACHE[stale]
+                _BLOB_CACHE[blob_key] = blob
         else:
             if any(len(item) != 32 for item in items):
                 return None
             blob = b"".join(items)
         words = _np.frombuffer(blob, dtype="<u4").reshape(len(items), 8)
+        return self._split_words(words)
+
+    def _split_words(self, words):
+        """Map a ``(batch, 8)`` u32 digest-word matrix to bit indices."""
         k, nbits = self.k, self.nbits
         if k <= 8:
             return (words[:, :k] % _np.uint32(nbits)).astype(_np.intp)

@@ -57,6 +57,12 @@ _BATCH_MIN = 32
 #: Default serialized cell width in bytes: 2 (count) + 8 (keySum) + 2 (checkSum).
 DEFAULT_CELL_BYTES = 12
 
+#: Folded-column snapshots for whole-batch :meth:`IBLT.update` calls on
+#: pristine tables, keyed ``(cells, k, seed, key tuple)``.  Bounded;
+#: oldest half evicted at the cap.
+_FOLD_CACHE: dict = {}
+_FOLD_CACHE_CAP = 64
+
 #: Fixed per-IBLT wire header, 12 bytes:
 #: ``cells u32 | k u8 | seed u32 | cell_bytes u8 | pad u16``
 #: (see :func:`repro.codec.encode_iblt` and docs/PROTOCOL.md section 1.2).
@@ -120,7 +126,8 @@ class IBLT:
     """
 
     __slots__ = ("cells", "k", "seed", "cell_bytes", "hasher",
-                 "_counts", "_key_sums", "_check_sums", "count")
+                 "_counts", "_key_sums", "_check_sums", "count",
+                 "_pristine")
 
     def __init__(self, cells: int, k: int = 4, seed: int = 0,
                  cell_bytes: int = DEFAULT_CELL_BYTES):
@@ -142,6 +149,11 @@ class IBLT:
         self._key_sums = array("Q", bytes(8 * cells))
         self._check_sums = array("Q", bytes(8 * cells))
         self.count = 0
+        #: True while the columns are untouched since construction; the
+        #: guard for the whole-batch fold cache in :meth:`update`.  Every
+        #: path that writes the columns -- in this class or outside it
+        #: (the wire codec, fuzz corruption) -- must clear it.
+        self._pristine = True
 
     # ------------------------------------------------------------------
     # Construction / mutation
@@ -149,6 +161,7 @@ class IBLT:
 
     def _apply(self, key: int, delta: int) -> None:
         key &= _U64
+        self._pristine = False
         words, csum = self.hasher.entry(key)
         csum &= 0xFFFF
         width = self.cells // self.k
@@ -187,11 +200,36 @@ class IBLT:
         if not keys:
             return
         if _np is not None and len(keys) >= _BATCH_MIN:
+            fkey = None
+            if self._pristine:
+                # Whole-batch fold memo: a receiver rebuilds I' from the
+                # identical short-ID list on every relay of a block, so
+                # the folded columns repeat verbatim.  Keyed by geometry
+                # + exact key tuple; only pristine (all-zero) tables can
+                # take the snapshot, since the fold starts from zero.
+                fkey = (self.cells, self.k, self.seed, tuple(keys))
+                snap = _FOLD_CACHE.get(fkey)
+                if snap is not None:
+                    self._counts[:] = snap[0]
+                    self._key_sums[:] = snap[1]
+                    self._check_sums[:] = snap[2]
+                    self.count += len(keys)
+                    self._pristine = False
+                    return
             batched = self.hasher.batch_entries(keys)
             if batched is not None:
                 self._update_batch(keys, *batched)
                 self.count += len(keys)
+                self._pristine = False
+                if fkey is not None:
+                    if len(_FOLD_CACHE) >= _FOLD_CACHE_CAP:
+                        for stale in list(_FOLD_CACHE)[:_FOLD_CACHE_CAP // 2]:
+                            del _FOLD_CACHE[stale]
+                    _FOLD_CACHE[fkey] = (array("q", self._counts),
+                                         array("Q", self._key_sums),
+                                         array("Q", self._check_sums))
                 return
+        self._pristine = False
         entry = self.hasher.entry
         width = self.cells // self.k
         counts, key_sums, check_sums = \
@@ -239,6 +277,7 @@ class IBLT:
         clone._key_sums[:] = self._key_sums
         clone._check_sums[:] = self._check_sums
         clone.count = self.count
+        clone._pristine = False
         return clone
 
     # ------------------------------------------------------------------
@@ -276,6 +315,7 @@ class IBLT:
         diff._key_sums = _xor_column(self._key_sums, other._key_sums)
         diff._check_sums = _xor_column(self._check_sums, other._check_sums)
         diff.count = self.count - other.count
+        diff._pristine = False
         return diff
 
     def __sub__(self, other: "IBLT") -> "IBLT":
@@ -354,6 +394,7 @@ class IBLT:
         IBLTs) and white-box tests can build inconsistent tables.
         """
         key &= _U64
+        self._pristine = False
         self._counts[idx] += delta
         self._key_sums[idx] ^= key
         self._check_sums[idx] ^= self.hasher.checksum(key)

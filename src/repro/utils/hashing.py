@@ -91,7 +91,11 @@ class DerivedHasher:
     """
 
     __slots__ = ("seed", "k", "_prefix", "_cache", "_cache_cap",
-                 "_mid_base", "_mid_words", "_blob_words", "_unpack_blob")
+                 "_mid_base", "_mid_words", "_blob_words", "_unpack_blob",
+                 "_batch_cache")
+
+    #: Bound on whole-batch blob memos (see :meth:`batch_entries`).
+    BATCH_CACHE_CAP = 32
 
     #: Bound on cached keys per family; at ~100 B/entry this caps the
     #: cache near 13 MB.  Eviction drops the oldest half (insertion
@@ -109,6 +113,7 @@ class DerivedHasher:
         self._prefix = struct.pack("<Q", seed & _U64)
         self._cache: dict[int, bytes] = {}
         self._cache_cap = self.CACHE_CAP
+        self._batch_cache: dict[tuple, bytes] = {}
         # SHA-256 midstates with the seed prefix (and, for the index
         # words, the counter) already absorbed; a cache miss copies these
         # and feeds only the 8-byte key instead of rebuilding the message.
@@ -196,9 +201,20 @@ class DerivedHasher:
         """
         if _np is None:
             return None
-        get = self._cache.get
-        make = self._make_blob
-        blob = b"".join([get(key) or make(key) for key in keys])
+        # Whole-batch memo: a relay rebuilds I' from the identical key
+        # list on every hop, so the concatenated blob repeats verbatim;
+        # the tuple key is exact (no hashing shortcuts).
+        tkey = tuple(keys)
+        batch_cache = self._batch_cache
+        blob = batch_cache.get(tkey)
+        if blob is None:
+            get = self._cache.get
+            make = self._make_blob
+            blob = b"".join([get(key) or make(key) for key in keys])
+            if len(batch_cache) >= self.BATCH_CACHE_CAP:
+                for stale in list(batch_cache)[:self.BATCH_CACHE_CAP // 2]:
+                    del batch_cache[stale]
+            batch_cache[tkey] = blob
         arr = _np.frombuffer(blob, dtype="<u8")
         arr = arr.reshape(len(keys), self._blob_words + 2)
         csums = arr[:, -2] ^ (arr[:, -1] >> _np.uint64(7))
