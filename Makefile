@@ -1,14 +1,16 @@
 # Entry points for the Graphene reproduction. `make ci` is the gate a
 # commit must pass: the tier-1 test suite, the PDS perf guard, the
 # relay-throughput perf guard (baseline compare + profile budget), the
-# end-to-end network smoke test plus its run-report invariants, the
-# fixed-seed fuzz smoke, and the executable-docs check.
+# network-scale perf guard (100/1000-node propagation vs BENCH_NET),
+# the end-to-end network smoke test plus its run-report invariants,
+# the fixed-seed fuzz smoke, and the executable-docs check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check perf-update perf-relay perf-relay-update \
-	profile-relay bench smoke report-check fuzz-smoke fuzz docs-check ci
+	perf-net perf-net-update profile-relay bench smoke report-check \
+	fuzz-smoke fuzz docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,10 +46,16 @@ perf-relay:
 perf-relay-update:
 	$(PYTHON) scripts/check_perf.py --suite relay --update
 
+perf-net:
+	$(PYTHON) scripts/check_perf.py --suite net
+
+perf-net-update:
+	$(PYTHON) scripts/check_perf.py --suite net --update
+
 profile-relay:
 	$(PYTHON) benchmarks/profile_relay.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check perf-relay report-check fuzz-smoke docs-check
+ci: test perf-check perf-relay perf-net report-check fuzz-smoke docs-check

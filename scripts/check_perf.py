@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Guard the hot paths against performance regressions.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``pds`` (default) -- re-runs :mod:`perf_pds` and compares each case's
   live (``columnar_s``) time against the committed ``BENCH_PDS.json``.
 * ``relay`` -- re-runs :mod:`bench_relay_throughput` (whole-pipeline
   relay throughput) and compares each case's rate against the committed
   ``BENCH_RELAY.json``.
+* ``net`` -- re-runs :mod:`bench_net` (100- and 1000-node multi-block
+  propagation) and compares events/sec against the committed
+  ``BENCH_NET.json``.
 
 Either comparison exits nonzero when a case regresses by more than
 ``--threshold`` (default 1.5x).  The comparison is to wall clock on the
@@ -40,6 +43,7 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 
 PDS_BASELINE_PATH = REPO / "BENCH_PDS.json"
 RELAY_BASELINE_PATH = REPO / "BENCH_RELAY.json"
+NET_BASELINE_PATH = REPO / "BENCH_NET.json"
 
 #: Whole-pipeline relay rates measured at this repo's state *before*
 #: the hot-path round 2 optimization pass, on the same machine class
@@ -187,9 +191,65 @@ def run_relay(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_net(args: argparse.Namespace) -> int:
+    from bench_net import run_suite, write_results
+
+    if not NET_BASELINE_PATH.exists() and not args.update:
+        print(f"no baseline at {NET_BASELINE_PATH}; run with --update "
+              "first", file=sys.stderr)
+        return 2
+
+    rows = run_suite()
+
+    if args.update:
+        for row in rows:
+            if row["propagation"]["coverage"] != 1.0:
+                print(f"refusing update: {row['case']} coverage "
+                      f"{row['propagation']['coverage']:.2%} != 100%",
+                      file=sys.stderr)
+                return 1
+        NET_BASELINE_PATH.write_text(json.dumps(
+            {"units": "events_per_s",
+             "machine": machine_stanza(),
+             "note": ("multi-block propagation over scale-free "
+                      "topologies through the full node stack; "
+                      "s_per_block is wall clock per simulated block; "
+                      "net_1000 is the acceptance-scale single-rep run"),
+             "cases": rows}, indent=1) + "\n")
+        write_results(rows)
+        print(f"baseline rewritten: {NET_BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(NET_BASELINE_PATH.read_text())
+    committed_rows = {r["case"]: r for r in baseline["cases"]}
+    failures = []
+    for row in rows:
+        committed = committed_rows.get(row["case"])
+        if committed is None:
+            continue
+        ratio = (committed["ops_per_s"] / row["ops_per_s"]
+                 if row["ops_per_s"] else float("inf"))
+        slow = ratio > args.threshold
+        flag = "REGRESSION" if slow else "ok"
+        print(f"{row['case']:10s} baseline={committed['ops_per_s']:10.2f} "
+              f"now={row['ops_per_s']:10.2f} {row['unit']:12s} "
+              f"({row['s_per_block']:.3f}s/block)  "
+              f"slowdown x{ratio:.2f}  {flag}")
+        if slow:
+            failures.append((row["case"], ratio))
+
+    if failures:
+        print(f"\n{len(failures)} case(s) slower than {args.threshold}x "
+              "the committed baseline", file=sys.stderr)
+        return 1
+    print("\nall cases within threshold")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pds", "relay"), default="pds",
+    parser.add_argument("--suite", choices=("pds", "relay", "net"),
+                        default="pds",
                         help="which baseline to check (default: pds)")
     parser.add_argument("--threshold", type=float, default=1.5,
                         help="fail when a case regresses by this factor "
@@ -205,6 +265,8 @@ def main() -> int:
     args = parser.parse_args()
     if args.suite == "relay":
         return run_relay(args)
+    if args.suite == "net":
+        return run_net(args)
     return run_pds(args)
 
 

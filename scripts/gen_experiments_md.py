@@ -23,6 +23,8 @@ def load(name: str) -> list:
 
 
 def _fmt_bytes(value: float) -> str:
+    if value >= 1024 * 1024:
+        return f"{value / (1024 * 1024):.1f} MB"
     if value >= 1024:
         return f"{value / 1024:.1f} KB"
     return f"{value:.0f} B"
@@ -365,6 +367,33 @@ def perf_notes() -> str:
     return "\n".join(parts)
 
 
+def propagation_notes() -> str:
+    parts = ["## Propagation at scale (1000-node runs)\n"]
+    rows = load("net_propagation")
+    for row in rows:
+        p = row["params"]
+        prop = row["propagation"]
+        parts.append(
+            f"- **{row['case']}** ({p['nodes']} nodes, {p['blocks']} "
+            f"blocks every {p['interval']:.0f} s over a seeded "
+            f"scale-free topology with geo-distance links): delay "
+            f"p50 {prop['p50']:.2f} s / p90 {prop['p90']:.2f} s / "
+            f"p99 {prop['p99']:.2f} s, fork rate {prop['fork_rate']:.1%}, "
+            f"coverage {prop['coverage']:.0%}, "
+            f"{_fmt_bytes(prop['wire_bytes'])} on the wire; "
+            f"{row['ops_per_s']:,.0f} simulator events/s "
+            f"({row['s_per_block']:.3f} s wall per block).")
+    if rows:
+        parts.append(
+            "\n*Notes:* full node stack (graphene relay, recovery, "
+            "telemetry) on the columnar simulator core; aggregate "
+            "telemetry above 64 nodes.  Regenerate with "
+            "`python benchmarks/bench_net.py`, guard with "
+            "`make perf-net` ([BENCH_NET.json](BENCH_NET.json)).")
+    parts.append("")
+    return "\n".join(parts)
+
+
 def main() -> int:
     body = [
         "# EXPERIMENTS — paper vs measured\n",
@@ -379,6 +408,7 @@ def main() -> int:
         fig07(), fig10(), fig11(), fig12(), fig13(), fig14(), fig15(),
         fig16(), fig17(), fig18(), fig19(), fig20(), sec51(), sec532(),
         sec61(), ablations(), extensions(), perf_notes(),
+        propagation_notes(),
     ]
     out = ROOT / "EXPERIMENTS.md"
     out.write_text("\n".join(body))

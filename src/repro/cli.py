@@ -8,6 +8,8 @@ Subcommands cover the workflows a user reaches for first:
 * ``experiment``  -- run one figure's experiment driver, print its rows.
 * ``attack``      -- run the section 6.1 collision attack summary.
 * ``netsim``      -- propagate a block across a simulated network.
+* ``net``         -- scaled multi-block propagation (up to 1000+ nodes):
+  fork rate and delay percentiles over sustained tx ingest.
 * ``trace``       -- netsim with a tracer attached; print the span timeline.
 * ``report``      -- netsim with metrics collection; print byte/outcome
   tables and check the accounting invariants.
@@ -160,6 +162,58 @@ def _cmd_netsim(args) -> int:
     print(f"{args.protocol}: {covered}/{args.nodes} nodes in "
           f"{coverage:.3f} s, {traffic:,} bytes total")
     return 0 if covered == args.nodes else 1
+
+
+def _cmd_net(args) -> int:
+    from repro.net import RelayProtocol
+    from repro.obs import run_propagation_scenario
+
+    verbose_cycles = args.verbose
+
+    def on_cycle(stats):
+        if verbose_cycles:
+            print(f"  cycle {stats.cycle:4d}  t={stats.t_end:8.1f}s  "
+                  f"events={stats.events:7d}  pending={stats.pending}")
+
+    run = run_propagation_scenario(
+        nodes=args.nodes, degree=args.degree, blocks=args.blocks,
+        block_txns=args.block_txns, interval=args.interval,
+        topology=args.topology, loss=args.loss, seed=args.seed,
+        protocol=RelayProtocol(args.protocol),
+        on_cycle=on_cycle if verbose_cycles else None)
+
+    sim = run.simulator
+    registry = run.registry
+    total_bytes = sim.net.total_bytes()
+    print(f"{args.protocol} on {args.topology}: {args.nodes} nodes "
+          f"(degree ~{args.degree}), {len(run.records)} blocks every "
+          f"{args.interval:g}s")
+    print(f"  {sim.events_processed:,} events over {sim.now:,.1f}s "
+          f"simulated, {total_bytes:,} bytes on the wire")
+    print(f"  propagation delay p50/p90/p99: "
+          f"{run.delay_quantile(0.5):.3f}/{run.delay_quantile(0.9):.3f}/"
+          f"{run.delay_quantile(0.99):.3f} s")
+    print(f"  fork rate: {run.fork_rate:.2%} "
+          f"({run.forks}/{max(1, len(run.records) - 1)} on a stale tip), "
+          f"coverage {run.coverage:.2%}")
+    if args.json:
+        from pathlib import Path
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "params": run.params,
+            "events": sim.events_processed,
+            "simulated_seconds": sim.now,
+            "wire_bytes": total_bytes,
+            "fork_rate": run.fork_rate,
+            "coverage": run.coverage,
+            "delay_percentiles": {
+                "p50": run.delay_quantile(0.5),
+                "p90": run.delay_quantile(0.9),
+                "p99": run.delay_quantile(0.99)},
+            "metrics": registry.snapshot()}, indent=1) + "\n")
+        print(f"  wrote {path}")
+    return 0 if run.coverage == 1.0 else 1
 
 
 def _observed_run(args):
@@ -338,6 +392,32 @@ def build_parser() -> argparse.ArgumentParser:
                         ).RelayProtocol])
     netsim.add_argument("--seed", type=int, default=0)
     netsim.set_defaults(func=_cmd_netsim)
+
+    net = sub.add_parser("net",
+                         help="scaled multi-block propagation: fork rate "
+                              "and delay percentiles at 100-1000+ nodes")
+    net.add_argument("--nodes", type=int, default=1000)
+    net.add_argument("--degree", type=int, default=8,
+                     help="target mean degree (scale_free uses degree/2 "
+                          "attachments per node)")
+    net.add_argument("--blocks", type=int, default=200)
+    net.add_argument("--block-txns", type=int, default=24)
+    net.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between blocks")
+    net.add_argument("--topology", default="scale_free",
+                     choices=["scale_free", "random_regular"])
+    net.add_argument("--loss", type=float, default=0.0)
+    net.add_argument("--seed", type=int, default=2026)
+    net.add_argument("--protocol", default="graphene",
+                     choices=[p.value for p in __import__(
+                         "repro.net.node", fromlist=["RelayProtocol"]
+                     ).RelayProtocol])
+    net.add_argument("--verbose", action="store_true",
+                     help="print per-cycle progress")
+    net.add_argument("--json", default=None, metavar="PATH",
+                     help="write a JSON summary (params, percentiles, "
+                          "fork rate, metrics snapshot) to PATH")
+    net.set_defaults(func=_cmd_net)
 
     trace = sub.add_parser("trace",
                            help="simulated relay with a span timeline")

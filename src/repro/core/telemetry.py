@@ -138,6 +138,9 @@ class EventRecorder(list):
 
     def append(self, event: MessageEvent) -> None:
         super().append(event)
+        self._fold(event)
+
+    def _fold(self, event: MessageEvent) -> None:
         self._folded += 1
         totals = self.part_totals
         for name, nbytes in event.parts.items():
@@ -156,6 +159,32 @@ class EventRecorder(list):
     def consistent(self) -> bool:
         """True while every element arrived through :meth:`append`."""
         return self._folded == len(self)
+
+
+class AggregateRecorder(EventRecorder):
+    """An event stream that keeps only the running aggregates.
+
+    At network scale, retaining one :class:`MessageEvent` per message is
+    O(messages) memory per node; above the scenario layer's node-count
+    threshold each relay stream is one of these instead.  ``append``
+    folds the event into the same aggregates :class:`EventRecorder`
+    maintains and discards the event itself, so every aggregate
+    consumer (``CostBreakdown.from_events``, the obs metrics fold,
+    :func:`total_wire_bytes`) sees identical numbers while per-event
+    walks see an empty list.
+
+    ``consistent()`` stays True by definition -- the aggregates *are*
+    the stream -- which is what routes consumers onto their fast paths
+    rather than the (empty) per-event reference loops.
+    """
+
+    __slots__ = ()
+
+    def append(self, event: MessageEvent) -> None:
+        self._fold(event)
+
+    def consistent(self) -> bool:
+        return True
 
 
 def total_wire_bytes(events, include_txs: bool = False) -> int:

@@ -48,6 +48,15 @@ class MalformedIBLTError(ReproError):
     """
 
 
+class SimulationBudgetError(ReproError):
+    """A simulator run exhausted its per-call event budget.
+
+    Raised (under ``on_budget="raise"``) instead of silently stopping
+    mid-run; the event queue is left intact so the caller can inspect
+    pending work or resume with a fresh budget.
+    """
+
+
 class MerkleValidationError(ReproError):
     """The decoded transaction set does not hash to the header's Merkle root."""
 

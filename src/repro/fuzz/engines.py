@@ -678,34 +678,47 @@ class RelayEngine(Engine):
         from repro.obs.trace import Tracer
 
         max_events = 500_000
-        simulator = Simulator()
-        peers = [Node(f"f{i:02d}", simulator,
-                      protocol=RelayProtocol.GRAPHENE)
-                 for i in range(params["nodes"])]
-        connect_random_regular(peers, degree=params["degree"],
-                               latency=0.05, bandwidth=1_000_000.0,
-                               rng=_random.Random(params["seed"]),
-                               loss_rate=params["loss"])
         fault_spec = params.get("fault")
+        # One FaultInjector shared across builds (plans are stateful:
+        # the message index advances per decision), reset() between
+        # them -- the repeated-topology pattern scenario code uses.
+        injector = None
         if fault_spec is not None:
-            node = peers[fault_spec["node"] % len(peers)]
-            neighbours = sorted(node.peers, key=lambda p: p.node_id)
-            if neighbours:
-                target = neighbours[fault_spec["peer"] % len(neighbours)]
-                node.inject_fault(target, FaultInjector(
-                    drop_nth=frozenset(fault_spec["drop_nth"]),
-                    drop_commands=frozenset(fault_spec["drop_commands"]),
-                    blackhole=(tuple(fault_spec["blackhole"])
-                               if fault_spec["blackhole"] else None)))
-        tracer = Tracer(simulator).attach(*peers)
-        scenario = make_block_scenario(n=params["block_size"],
-                                       extra=params["extra"], fraction=1.0,
-                                       seed=params["seed"] % 997)
-        for node in peers[1:]:
-            node.mempool.add_many(scenario.receiver_mempool.transactions())
-        peers[0].mine_block(scenario.block)
-        simulator.run(max_events=max_events)
-        if simulator.events_processed >= max_events:
+            injector = FaultInjector(
+                drop_nth=frozenset(fault_spec["drop_nth"]),
+                drop_commands=frozenset(fault_spec["drop_commands"]),
+                blackhole=(tuple(fault_spec["blackhole"])
+                           if fault_spec["blackhole"] else None))
+
+        def build_and_run(trace: bool):
+            simulator = Simulator()
+            peers = [Node(f"f{i:02d}", simulator,
+                          protocol=RelayProtocol.GRAPHENE)
+                     for i in range(params["nodes"])]
+            connect_random_regular(peers, degree=params["degree"],
+                                   latency=0.05, bandwidth=1_000_000.0,
+                                   rng=_random.Random(params["seed"]),
+                                   loss_rate=params["loss"])
+            if injector is not None:
+                node = peers[fault_spec["node"] % len(peers)]
+                neighbours = sorted(node.peers, key=lambda p: p.node_id)
+                if neighbours:
+                    target = neighbours[
+                        fault_spec["peer"] % len(neighbours)]
+                    node.inject_fault(target, injector)
+            tracer = Tracer(simulator).attach(*peers) if trace else None
+            scenario = make_block_scenario(
+                n=params["block_size"], extra=params["extra"],
+                fraction=1.0, seed=params["seed"] % 997)
+            for node in peers[1:]:
+                node.mempool.add_many(
+                    scenario.receiver_mempool.transactions())
+            peers[0].mine_block(scenario.block)
+            simulator.run(max_events=max_events)
+            return simulator, peers, tracer, scenario
+
+        simulator, peers, tracer, scenario = build_and_run(trace=True)
+        if simulator.truncated:
             return self.fail("relay-termination",
                              f"simulation still busy after {max_events} "
                              "events", params)
@@ -731,6 +744,27 @@ class RelayEngine(Engine):
             if not inv.ok:
                 return self.fail("relay-invariant:" + inv.name, inv.detail,
                                  params)
+        if injector is not None:
+            # Repeated-topology determinism: rebuild the same scenario
+            # with the same (reset) fault plan; an identical message
+            # stream must reproduce identical drops, clock and coverage.
+            first = (covered, injector.dropped, simulator.now,
+                     simulator.events_processed)
+            injector.reset()
+            if injector.dropped or injector._index:
+                return self.fail("relay-fault-reset",
+                                 "reset() left injector state behind",
+                                 params)
+            sim2, peers2, _, _ = build_and_run(trace=False)
+            covered2 = sum(1 for node in peers2 if root in node.blocks)
+            second = (covered2, injector.dropped, sim2.now,
+                      sim2.events_processed)
+            if first != second:
+                return self.fail(
+                    "relay-repeat-divergence",
+                    f"repeated topology diverged: first "
+                    f"(covered, dropped, now, events)={first}, "
+                    f"second={second}", params)
         return None
 
 

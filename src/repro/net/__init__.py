@@ -10,27 +10,44 @@ and topology builders (:mod:`~repro.net.topology`).
 """
 
 from repro.net.messages import NetMessage
-from repro.net.simulator import EventHandle, FaultInjector, Link, Simulator
+from repro.net.simulator import (
+    CycleStats,
+    EventHandle,
+    FaultInjector,
+    Link,
+    Simulator,
+)
+from repro.net.netstate import NetIndex
 from repro.net.recovery import RecoveryPolicy
 from repro.net.transport import LoopbackTransport, SimulatorTransport, Transport
 from repro.net.node import Node, RelayProtocol
-from repro.net.topology import connect_clique, connect_line, connect_random_regular
+from repro.net.topology import (
+    GeoLinkModel,
+    connect_clique,
+    connect_line,
+    connect_random_regular,
+    connect_scale_free,
+)
 
 __all__ = [
     "NetMessage",
+    "CycleStats",
     "EventHandle",
     "FaultInjector",
     "Link",
     "Simulator",
+    "NetIndex",
     "RecoveryPolicy",
     "Transport",
     "LoopbackTransport",
     "SimulatorTransport",
     "Node",
     "RelayProtocol",
+    "GeoLinkModel",
     "connect_clique",
     "connect_line",
     "connect_random_regular",
+    "connect_scale_free",
 ]
 
 from repro.net.mining import MinerNode, MiningReport, run_mining_experiment  # noqa: E402

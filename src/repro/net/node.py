@@ -32,7 +32,7 @@ from repro.core.engine import (
     SENDER_STEPS,
 )
 from repro.core.params import GrapheneConfig
-from repro.core.telemetry import EventRecorder
+from repro.core.telemetry import AggregateRecorder, EventRecorder
 from repro.core.sizing import (
     INV_ENTRY_BYTES,
     MSG_HEADER_BYTES,
@@ -40,6 +40,7 @@ from repro.core.sizing import (
 )
 from repro.errors import ParameterError
 from repro.net.messages import NetMessage
+from repro.net.netstate import InvView, NodeStats
 from repro.net.recovery import (
     RecoveryPolicy,
     RelayRecoveryMixin,
@@ -104,14 +105,28 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
                  config: Optional[GrapheneConfig] = None,
                  trickle_interval: float = 0.0,
                  recovery: Optional[RecoveryPolicy] = None,
-                 tracer=None):
+                 tracer=None, telemetry_mode: str = "full"):
         if not node_id:
             raise ParameterError("node_id must be non-empty")
         if trickle_interval < 0:
             raise ParameterError(
                 f"trickle_interval must be >= 0, got {trickle_interval}")
+        if telemetry_mode not in ("full", "aggregate"):
+            raise ParameterError(
+                f"telemetry_mode must be 'full' or 'aggregate', "
+                f"got {telemetry_mode!r}")
         self.node_id = node_id
         self.simulator = simulator
+        #: "full" keeps one MessageEvent per relay message (the default;
+        #: required for traces and per-event invariants); "aggregate"
+        #: folds each event into running totals and discards it, which
+        #: is what bounds memory at 1000-node scale.
+        self.telemetry_mode = telemetry_mode
+        #: Columnar per-run network registry (integer node ids, flat
+        #: edge/inv columns); shared by every node of one simulator.
+        self._net = simulator.net
+        #: This node's integer id in the registry.
+        self.nid = self._net.register(self)
         self.protocol = protocol
         self.config = config or GrapheneConfig()
         self.recovery = recovery or RecoveryPolicy()
@@ -132,11 +147,14 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
         self.mempool = Mempool()
         self.blocks: dict = {}          # merkle root -> Block
         self.peers: dict = {}           # node -> Link
-        self.stats: dict = {}           # node -> PeerStats
+        #: ``peer -> stats`` view over the registry's flat edge columns
+        #: (PeerStats-compatible: ``stats[peer].bytes_sent`` etc.).
+        self.stats = NodeStats(self)
         self.block_arrival: dict = {}   # merkle root -> sim time
         #: Transaction-inv dedup (txids only; block roots live in the
         #: recovery source registry so stalled fetches can fail over).
-        self._seen_inv: set = set()
+        #: Set-like view over the registry's shared txid bitmask table.
+        self._seen_inv = InvView(self._net, self.nid)
         # Graphene wire engines, keyed by block Merkle root.
         self._rx_engines: dict = {}
         self._tx_engines: dict = {}
@@ -168,9 +186,11 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
 
     def _telemetry_stream(self, kind: str, key) -> list:
         """A telemetry stream for one exchange, traced when a tracer is set."""
-        if self.tracer is None:
-            return EventRecorder()
-        return self.tracer.stream(self.node_id, kind, key)
+        if self.tracer is not None:
+            return self.tracer.stream(self.node_id, kind, key)
+        if self.telemetry_mode == "aggregate":
+            return AggregateRecorder()
+        return EventRecorder()
 
     def _trace_mark(self, kind: str, key, name: str, **detail) -> None:
         """Annotate an exchange span (no-op without a tracer)."""
@@ -199,24 +219,32 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
             derive_loss_seed(self.node_id, other.node_id))
         other.peers[self].ensure_loss_seed(
             derive_loss_seed(other.node_id, self.node_id))
-        self.stats.setdefault(other, PeerStats())
-        other.stats.setdefault(self, PeerStats())
+        self.peers[other].edge = self._net.edge(self.nid, other.nid)
+        other.peers[self].edge = other._net.edge(other.nid, self.nid)
 
     def _send(self, peer: "Node", message: NetMessage) -> None:
         link = self.peers.get(peer)
         if link is None:
             raise ParameterError(
                 f"{self.node_id} is not peered with {peer.node_id}")
-        self.stats[peer].record(message)
+        eid = link.edge
+        if eid < 0:
+            # Link attached by direct `peers[...] = Link(...)` assignment
+            # (bypassing connect); register its edge row on first send.
+            eid = link.edge = self._net.edge(self.nid, peer.nid)
+        size = message.total_size
+        self._net.charge(eid, size)
         dropped = link.drops(self.simulator.now, message.command)
         # A dropped message still occupied the sender side of the link:
         # the bytes left the NIC before being lost, so the FIFO busy
-        # window advances (and PeerStats charged them) either way.
-        deliver_at = link.transmit_schedule(self.simulator.now,
-                                            message.total_size)
+        # window advances (and the edge counters charged them) either
+        # way.
+        deliver_at = link.transmit_schedule(self.simulator.now, size)
         if dropped:
             return
-        self.simulator.schedule_at(
+        # Deliveries are never cancelled; the handle-free post path
+        # skips one EventHandle allocation per message.
+        self.simulator.post_at(
             deliver_at, lambda: peer.receive(self, message))
 
     def inject_fault(self, peer: "Node", fault: FaultInjector) -> None:
@@ -314,9 +342,12 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
             # Register every announcer so a stalled fetch can fail over
             # (the recovery ladder's rung 3); only the first inv opens
             # an exchange.
+            # Sources are stored as integer nids (resolved back through
+            # the registry at failover time) so 1000 announcers cost a
+            # flat int list, not a list of object references.
             sources = self._block_sources.setdefault(root, [])
-            if sender not in sources:
-                sources.append(sender)
+            if sender.nid not in sources:
+                sources.append(sender.nid)
             if root not in self._block_recovery:
                 self._begin_block_fetch(sender, root, self._initial_stage())
             return
@@ -666,7 +697,7 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
     # ------------------------------------------------------------------
 
     def total_bytes_sent(self) -> int:
-        return sum(stats.bytes_sent for stats in self.stats.values())
+        return self._net.bytes_sent_by(self.nid)
 
     def __repr__(self) -> str:
         return (f"Node({self.node_id!r}, protocol={self.protocol.value}, "

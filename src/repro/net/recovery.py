@@ -184,8 +184,12 @@ class RelayRecoveryMixin:
         # Rung 3: this peer is a lost cause; fail over to the next
         # peer that announced the root.
         state.tried.add(state.peer)
+        # The source registry stores integer nids; resolve them back to
+        # Node objects through the run's columnar registry.
+        nodes = self._net.nodes
         alternate = next(
-            (p for p in self._block_sources.get(root, ())
+            (p for p in (nodes[nid] for nid in
+                         self._block_sources.get(root, ()))
              if p not in state.tried and p in self.peers), None)
         if alternate is None:
             self._abandon_block_fetch(root)

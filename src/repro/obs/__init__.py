@@ -39,7 +39,14 @@ from repro.obs.report import (
     render_byte_table,
     render_outcome_table,
 )
-from repro.obs.scenario import ObservedRun, run_block_relay_scenario
+from repro.obs.scenario import (
+    AGGREGATE_NODE_THRESHOLD,
+    BlockRecord,
+    ObservedRun,
+    PropagationRun,
+    run_block_relay_scenario,
+    run_propagation_scenario,
+)
 from repro.obs.trace import (
     PhaseSpan,
     Span,
@@ -64,8 +71,12 @@ __all__ = [
     "check_stream_invariants",
     "render_byte_table",
     "render_outcome_table",
+    "AGGREGATE_NODE_THRESHOLD",
+    "BlockRecord",
     "ObservedRun",
+    "PropagationRun",
     "run_block_relay_scenario",
+    "run_propagation_scenario",
     "PhaseSpan",
     "Span",
     "TraceMark",
