@@ -3,20 +3,24 @@
 # relay-throughput perf guard (baseline compare + profile budget), the
 # network-scale perf guard (100/1000-node propagation vs BENCH_NET),
 # the end-to-end network smoke test plus its run-report invariants,
-# the fixed-seed fuzz smoke, and the executable-docs check.
+# the two-process socket relay smoke (byte parity with loopback), the
+# fixed-seed fuzz smoke, and the executable-docs check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check perf-update perf-relay perf-relay-update \
-	perf-net perf-net-update profile-relay bench smoke report-check \
-	fuzz-smoke fuzz docs-check ci
+	perf-net perf-net-update profile-relay bench smoke smoke-socket \
+	report-check fuzz-smoke fuzz docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) scripts/smoke_net.py
+
+smoke-socket:
+	$(PYTHON) scripts/smoke_socket.py
 
 report-check: smoke
 	$(PYTHON) scripts/check_run_report.py
@@ -58,4 +62,5 @@ profile-relay:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check perf-relay perf-net report-check fuzz-smoke docs-check
+ci: test perf-check perf-relay perf-net report-check smoke-socket \
+	fuzz-smoke docs-check

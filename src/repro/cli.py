@@ -15,6 +15,9 @@ Subcommands cover the workflows a user reaches for first:
   tables and check the accounting invariants.
 * ``fuzz``        -- run the differential fuzzing engines; minimize and
   archive any failures as replayable corpus artifacts.
+* ``serve``       -- announce and serve one synthetic block over real TCP.
+* ``peer``        -- fetch a block from a ``serve`` instance; optionally
+  assert byte parity against the loopback relay of the same scenario.
 """
 
 from __future__ import annotations
@@ -317,6 +320,87 @@ def _cmd_fuzz(args) -> int:
     return 0 if stats.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.net.peer import BlockServer
+
+    scenario = make_block_scenario(n=args.n, extra=args.extra,
+                                   fraction=args.fraction, seed=args.seed)
+
+    async def run() -> int:
+        server = BlockServer(scenario.block)
+        port = await server.start(args.host, args.port)
+        # Parseable by scripts that pass --port 0 and need the real one.
+        print(f"listening on {args.host}:{port}", flush=True)
+        print(f"serving block {server.root.hex()[:12]} ({scenario.n} txns, "
+              f"seed {args.seed})", flush=True)
+        if args.once:
+            await server.wait_served(1)
+        else:
+            await asyncio.Event().wait()  # forever; Ctrl-C to stop
+        await server.close()
+        print(f"served {server.connections_served} connection(s)")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_peer(args) -> int:
+    import asyncio
+
+    from repro.net.peer import fetch_block
+    from repro.net.recovery import RecoveryPolicy
+
+    scenario = make_block_scenario(n=args.n, extra=args.extra,
+                                   fraction=args.fraction, seed=args.seed)
+    policy = RecoveryPolicy(timeout_base=args.timeout_base)
+    result = asyncio.run(fetch_block(args.host, args.port,
+                                     scenario.receiver_mempool,
+                                     policy=policy))
+    # With --json, stdout carries only the JSON document.
+    out = sys.stderr if args.json else sys.stdout
+    print(f"fetched block {result.root.hex()[:12]} from "
+          f"{result.peer.node_id}: success={result.success} "
+          f"protocol {result.protocol_used}, {result.roundtrips} RTT, "
+          f"{result.total_bytes:,} B graphene "
+          f"(+{result.wire_overhead} B frame overhead)", file=out)
+    if result.timeouts or result.escalated:
+        print(f"  recovery: {result.timeouts} timeouts, {result.retries} "
+              f"retries, escalated={result.escalated}, "
+              f"abandoned={result.abandoned}", file=out)
+    ok = result.success
+    if args.check_parity:
+        loop = BlockRelaySession().relay(scenario.block,
+                                         scenario.receiver_mempool)
+        cost_ok = (json.dumps(result.cost.as_dict(), sort_keys=True)
+                   == json.dumps(loop.cost.as_dict(), sort_keys=True))
+        events_ok = ([e.as_dict() for e in result.events]
+                     == [e.as_dict() for e in loop.events])
+        print(f"  loopback parity: cost "
+              f"{'ok' if cost_ok else 'MISMATCH'}, events "
+              f"{'ok' if events_ok else 'MISMATCH'} "
+              f"({len(result.events)} events, {loop.total_bytes:,} B)",
+              file=out)
+        ok = ok and cost_ok and events_ok
+    if args.json:
+        json.dump({"success": result.success,
+                   "protocol_used": result.protocol_used,
+                   "roundtrips": result.roundtrips,
+                   "total_bytes": result.total_bytes,
+                   "wire_overhead": result.wire_overhead,
+                   "timeouts": result.timeouts,
+                   "retries": result.retries,
+                   "cost": result.cost.as_dict(),
+                   "events": [e.as_dict() for e in result.events]},
+                  sys.stdout, indent=1)
+        print()
+    return 0 if ok else 1
+
+
 def _add_scenario_args(parser) -> None:
     """Shared knobs for the observed-run commands (trace, report)."""
     parser.add_argument("--nodes", type=int, default=20)
@@ -462,6 +546,41 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay one corpus artifact instead of fuzzing")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    def _add_socket_scenario_args(parser) -> None:
+        # Both ends derive the identical scenario from the same seed, so
+        # only parameters cross the command line, never transactions.
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument("--n", type=int, default=200)
+        parser.add_argument("--extra", type=int, default=200)
+        parser.add_argument("--fraction", type=float, default=1.0)
+        parser.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve",
+                           help="announce and serve one synthetic block "
+                                "over real TCP")
+    _add_socket_scenario_args(serve)
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 binds an ephemeral port; the bound port "
+                            "is printed as 'listening on HOST:PORT'")
+    serve.add_argument("--once", action="store_true",
+                       help="exit after serving one connection")
+    serve.set_defaults(func=_cmd_serve)
+
+    peer = sub.add_parser("peer",
+                          help="fetch a block from a running serve "
+                               "instance")
+    _add_socket_scenario_args(peer)
+    peer.add_argument("--port", type=int, required=True)
+    peer.add_argument("--timeout-base", type=float, default=2.0,
+                      help="first-attempt response timeout (seconds)")
+    peer.add_argument("--check-parity", action="store_true",
+                      help="also run the loopback relay of the same "
+                           "scenario and require byte-identical cost "
+                           "and telemetry")
+    peer.add_argument("--json", action="store_true",
+                      help="dump the result (cost, events) as JSON")
+    peer.set_defaults(func=_cmd_peer)
 
     return parser
 

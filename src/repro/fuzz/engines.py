@@ -30,6 +30,7 @@ ones).
 from __future__ import annotations
 
 import random
+import struct
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
@@ -54,6 +55,14 @@ from repro.codec import (
 from repro.errors import ReproError
 from repro.fuzz import gen
 from repro.fuzz.gen import rng_from
+from repro.net.peer.framing import (
+    MAX_PAYLOAD,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    frame_overhead,
+    iter_splits,
+)
 
 _DECODERS = (decode_bloom, decode_iblt, decode_transaction, decode_tx_list,
              decode_protocol1_payload, decode_protocol2_request,
@@ -136,12 +145,22 @@ class CodecEngine(Engine):
     name = "codec"
     cost = 1
     shrink_floors = {"n": 1, "extra": 0, "n_insert": 0, "n_erase": 0,
-                     "cells": 1, "k": 2, "n_ops": 1}
+                     "cells": 1, "k": 2, "n_ops": 1, "n_frames": 1,
+                     "payload_max": 0}
 
     _KINDS = ("bloom", "bloom", "iblt", "iblt", "transaction", "tx_list",
-              "p1", "p1", "p2", "p2", "mutation", "mutation", "mutation")
+              "p1", "p1", "p2", "p2", "mutation", "mutation", "mutation",
+              "frame", "frame")
     _MUTATION_BASES = ("bloom", "iblt", "transaction", "p1",
                        "p2_request", "p2_response")
+    #: Frame-level corruption modes ("split" is the invariance check;
+    #: the rest must raise FrameError, never mis-parse or stall).
+    _FRAME_MODES = ("split", "split", "split", "bad_magic", "bad_length",
+                    "bad_checksum", "midframe_eof")
+    _FRAME_COMMANDS = ("version", "verack", "inv", "getdata",
+                       "graphene_block", "graphene_p2_request",
+                       "graphene_p2_response", "getdata_shortids",
+                       "block_txs", "getdata_block", "block")
 
     def draw(self, rng: random.Random) -> dict:
         kind = rng.choice(self._KINDS)
@@ -167,6 +186,11 @@ class CodecEngine(Engine):
             params.update(n=rng.randint(60, 250),
                           extra=rng.randint(20, 250),
                           fraction=round(rng.uniform(0.55, 0.95), 2))
+        elif kind == "frame":
+            params.update(n_frames=rng.randint(1, 6),
+                          payload_max=rng.randint(0, 300),
+                          mode=rng.choice(self._FRAME_MODES),
+                          split_seed=rng.getrandbits(16))
         else:  # mutation
             params.update(base=rng.choice(self._MUTATION_BASES),
                           n=rng.randint(30, 150),
@@ -451,6 +475,59 @@ class CodecEngine(Engine):
                              f"{params['base']} prefix of {cut}/{len(blob)} "
                              "bytes decoded without error", params)
         return None
+
+    # -- frame envelope -------------------------------------------------
+
+    def _check_frame(self, params) -> Optional[FuzzFailure]:
+        rng = rng_from("frame", params["seed"])
+        frames = []
+        for _ in range(params["n_frames"]):
+            command = rng.choice(self._FRAME_COMMANDS)
+            payload = rng.randbytes(rng.randint(0, params["payload_max"]))
+            frames.append((command, payload))
+        stream = b"".join(encode_frame(c, p) for c, p in frames)
+        mode = params["mode"]
+        if mode == "split":
+            split_rng = rng_from("split", params["split_seed"])
+            sizes = iter(lambda: split_rng.randint(1, 64), None)
+            decoder = FrameDecoder()
+            collected = []
+            try:
+                for chunk in iter_splits(stream, sizes):
+                    collected.extend(decoder.feed(chunk))
+                decoder.eof()
+            except FrameError as exc:
+                return self.fail("frame-split-invariance",
+                                 f"valid stream rejected: {exc}", params)
+            if collected != frames:
+                return self.fail("frame-split-invariance",
+                                 f"split parse yielded {len(collected)} "
+                                 f"frames, expected {len(frames)}", params)
+            return None
+        # Hostile modes: a corruption of the first (or truncation of the
+        # last) frame must surface as FrameError, never a mis-parse.
+        buf = bytearray(stream)
+        cmd_len = buf[4]
+        if mode == "bad_magic":
+            buf[0] ^= 0xFF
+        elif mode == "bad_length":
+            struct.pack_into("<I", buf, 5 + cmd_len, MAX_PAYLOAD + 1)
+        elif mode == "bad_checksum":
+            # The stored checksum was correct, so any bit flip in its
+            # field guarantees a mismatch against the intact payload.
+            buf[5 + cmd_len + 4] ^= 0x01
+        else:  # midframe_eof
+            last_len = frame_overhead(frames[-1][0]) + len(frames[-1][1])
+            del buf[len(buf) - rng.randint(1, last_len - 1):]
+        decoder = FrameDecoder()
+        try:
+            decoder.feed(bytes(buf))
+            decoder.eof()
+        except FrameError:
+            return None
+        return self.fail("frame-" + mode.replace("_", "-"),
+                         "corrupted stream accepted without FrameError",
+                         params)
 
     @staticmethod
     def _prefix_decoder(base: str):

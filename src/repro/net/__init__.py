@@ -51,5 +51,7 @@ __all__ = [
 ]
 
 from repro.net.mining import MinerNode, MiningReport, run_mining_experiment  # noqa: E402
+from repro.net.peer import AsyncioTransport, BlockServer, fetch_block  # noqa: E402
 
-__all__ += ["MinerNode", "MiningReport", "run_mining_experiment"]
+__all__ += ["MinerNode", "MiningReport", "run_mining_experiment",
+            "AsyncioTransport", "BlockServer", "fetch_block"]

@@ -1,0 +1,79 @@
+"""Real-socket peer stack: framing, handshake, and asyncio endpoints.
+
+The deployment face of the relay: the same
+:mod:`repro.core.engine` state machines every in-memory layer drives,
+behind a length-prefixed frame codec and a version/verack handshake on
+real TCP streams.  ``repro serve`` / ``repro peer`` are the CLI front
+ends; ``tests/test_peer_socket.py`` pins socket relays byte-identical
+to their loopback twins.
+"""
+
+from repro.net.peer.framing import (
+    FrameDecoder,
+    FrameError,
+    decode_frames,
+    encode_frame,
+    frame_overhead,
+    iter_splits,
+    MAGIC,
+    MAX_COMMAND,
+    MAX_PAYLOAD,
+)
+from repro.net.peer.peer import (
+    BlockServer,
+    HANDSHAKE_TIMEOUT,
+    PeerConnection,
+    PeerFetchResult,
+    fetch_block,
+)
+from repro.net.peer.protocol import (
+    ENGINE_COMMANDS,
+    FRAME_COMMANDS,
+    HANDSHAKE_COMMANDS,
+    PROTOCOL_VERSION,
+    ROOT_BYTES,
+    VersionInfo,
+    decode_full_block,
+    decode_inv,
+    decode_version,
+    derive_sync_nonce,
+    encode_full_block,
+    encode_inv,
+    encode_keyed,
+    encode_version,
+    split_keyed,
+)
+from repro.net.peer.transport import AsyncioTransport
+
+__all__ = [
+    "AsyncioTransport",
+    "BlockServer",
+    "ENGINE_COMMANDS",
+    "FRAME_COMMANDS",
+    "FrameDecoder",
+    "FrameError",
+    "HANDSHAKE_COMMANDS",
+    "HANDSHAKE_TIMEOUT",
+    "MAGIC",
+    "MAX_COMMAND",
+    "MAX_PAYLOAD",
+    "PROTOCOL_VERSION",
+    "PeerConnection",
+    "PeerFetchResult",
+    "ROOT_BYTES",
+    "VersionInfo",
+    "decode_frames",
+    "decode_full_block",
+    "decode_inv",
+    "decode_version",
+    "derive_sync_nonce",
+    "encode_frame",
+    "encode_full_block",
+    "encode_inv",
+    "encode_keyed",
+    "encode_version",
+    "fetch_block",
+    "frame_overhead",
+    "iter_splits",
+    "split_keyed",
+]

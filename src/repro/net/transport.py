@@ -2,7 +2,7 @@
 
 The Graphene control flow lives entirely in :mod:`repro.core.engine`;
 a :class:`Transport` only decides *how* a SEND action reaches the other
-side.  Two implementations cover every caller in the package:
+side.  Three implementations cover every caller in the package:
 
 * :class:`LoopbackTransport` -- both engines in one process, delivery
   is a synchronous function call.  This is what
@@ -13,10 +13,21 @@ side.  Two implementations cover every caller in the package:
   :class:`~repro.net.node.Node`; actions become
   :class:`~repro.net.messages.NetMessage` objects crossing a
   latency/bandwidth/loss :class:`~repro.net.simulator.Link`.
+* :class:`~repro.net.peer.AsyncioTransport` -- one engine endpoint on
+  a real TCP connection; actions are framed
+  (:mod:`repro.net.peer.framing`) and written to an asyncio
+  ``StreamWriter``.
 
-Both charge bytes from the action's attached telemetry event, so a
-loopback relay and a simulated relay of the same block account the
-same wire bytes by construction.
+All three charge bytes from the action's attached telemetry event, so
+a loopback relay, a simulated relay and a socket relay of the same
+block account the same wire bytes by construction.
+
+The shared ``deliver`` contract is SEND-only: passing a terminal
+action (DONE or FAILED) raises :class:`~repro.errors.ParameterError`
+on every transport.  Terminal actions never cross a wire -- they are
+the *local* endpoint's result, and each driver reads them off its own
+engine (``LoopbackTransport`` records the one its internal pump
+reaches as ``final``).
 
 Recovery retransmissions (see :mod:`repro.net.recovery`) flow through
 the same ``deliver`` path as first sends: a re-emitted engine action
@@ -52,9 +63,22 @@ class LoopbackTransport(Transport):
         self.sender = sender
         self.receiver = receiver
         #: Terminal action (DONE or FAILED) once the exchange finishes.
+        #: Reset on every ``deliver``, so a stale result can never leak
+        #: into a reused transport's next exchange.
         self.final: Optional[EngineAction] = None
 
     def deliver(self, action: EngineAction) -> None:
+        """Pump ``action`` (kind SEND) between the engines to completion.
+
+        Like the other transports, only SEND actions are accepted: a
+        terminal action is an exchange *result*, and silently adopting
+        one as ``final`` used to mask driver bugs (and a reused
+        transport kept the previous exchange's ``final``).
+        """
+        if action.kind is not ActionKind.SEND:
+            raise ParameterError(
+                f"only SEND actions cross the wire, got {action.kind}")
+        self.final = None
         while action.kind is ActionKind.SEND:
             engine = (self.sender if action.command in SENDER_STEPS
                       else self.receiver)

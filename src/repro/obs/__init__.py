@@ -54,6 +54,7 @@ from repro.obs.trace import (
     TraceRecord,
     TracedStream,
     Tracer,
+    WallClock,
     assemble_spans,
     format_key,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "TraceRecord",
     "TracedStream",
     "Tracer",
+    "WallClock",
     "assemble_spans",
     "format_key",
 ]

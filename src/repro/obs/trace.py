@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -221,6 +222,27 @@ def assemble_spans(records, marks=()) -> List[Span]:
             marks=span_marks, records=recs))
     spans.sort(key=lambda s: (s.start, s.records[0].seq))
     return spans
+
+
+class WallClock:
+    """A ``.now`` clock over real time, for tracing socket runs.
+
+    :class:`Tracer` only ever reads its clock's ``now`` attribute, so
+    any object exposing one works.  The simulator provides virtual
+    time; this is the wall-time twin the asyncio peer stack
+    (:mod:`repro.net.peer`) passes when tracing a relay over a real
+    connection: monotonic seconds since the clock was created, so span
+    timestamps start near zero just like a simulation's.
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._origin
 
 
 class Tracer:

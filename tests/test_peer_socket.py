@@ -1,0 +1,285 @@
+"""The asyncio peer stack: handshake, byte parity, recovery ladder.
+
+The tentpole claim: a block relayed over a real localhost TCP socket
+produces a CostBreakdown and telemetry event stream *byte-identical*
+to the LoopbackTransport run of the same scenario (same seed, same
+mempools).  Only the engines append telemetry -- handshake and inv
+frames add nothing -- so parity holds by construction, and these tests
+pin it for both the Protocol 1 and the full P2-fallback paths.
+
+The ladder tests drive the client's asyncio-mapped recovery rungs with
+the server's deterministic ``drop`` knob instead of a lossy network:
+re-emit with backoff (outcome="timeout"/"retry" telemetry), escalate
+to a full-block fetch, abandon when a single peer is exhausted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chain.scenarios import make_block_scenario
+from repro.core.session import BlockRelaySession
+from repro.errors import ParameterError, ProtocolFailure
+from repro.net.peer import (
+    AsyncioTransport,
+    BlockServer,
+    PeerConnection,
+    derive_sync_nonce,
+    encode_version,
+    fetch_block,
+)
+from repro.net.recovery import RecoveryPolicy
+from repro.net.transport import LoopbackTransport
+from repro.core.engine import (
+    ActionKind,
+    EngineAction,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+)
+from repro.obs import Tracer, WallClock
+
+#: Small timeouts so ladder tests stall in milliseconds, not seconds.
+FAST = dict(timeout_base=0.15, backoff=1.5)
+
+
+async def _serve_and_fetch(scenario, drop=None, policy=None, tracer=None):
+    server = BlockServer(scenario.block, drop=drop, tracer=tracer)
+    port = await server.start()
+    try:
+        return await fetch_block("127.0.0.1", port,
+                                 scenario.receiver_mempool,
+                                 policy=policy, tracer=tracer)
+    finally:
+        await server.close()
+
+
+def _fetch(scenario, **kwargs):
+    return asyncio.run(_serve_and_fetch(scenario, **kwargs))
+
+
+class TestByteParity:
+    """Socket relay == loopback relay, byte for byte and event for event."""
+
+    def _assert_parity(self, fraction, seed):
+        sc = make_block_scenario(n=120, extra=120, fraction=fraction,
+                                 seed=seed)
+        result = _fetch(sc)
+        assert result.success
+
+        sc2 = make_block_scenario(n=120, extra=120, fraction=fraction,
+                                  seed=seed)
+        loop = BlockRelaySession().relay(sc2.block, sc2.receiver_mempool)
+        # Byte-identical: compare the JSON serializations, the exact
+        # form the CI smoke stage and the CLI parity check compare.
+        assert json.dumps(result.cost.as_dict(), sort_keys=True) \
+            == json.dumps(loop.cost.as_dict(), sort_keys=True)
+        assert json.dumps([e.as_dict() for e in result.events]) \
+            == json.dumps([e.as_dict() for e in loop.events])
+        assert result.roundtrips == loop.roundtrips
+        assert result.protocol_used == loop.protocol_used
+        assert [tx.txid for tx in result.txs] \
+            == [tx.txid for tx in loop.txs]
+        return result
+
+    def test_protocol1_path(self):
+        result = self._assert_parity(fraction=1.0, seed=7)
+        assert result.protocol_used == 1
+        assert [e.command for e in result.events] \
+            == ["inv", "getdata", "graphene_block"]
+        # The socket adds real envelope bytes, but never to the
+        # analytic accounting.
+        assert result.wire_overhead > 0
+
+    def test_full_fallback_chain(self):
+        result = self._assert_parity(fraction=0.4, seed=133)
+        assert result.protocol_used == 2
+        assert result.p2_used_pingpong
+        assert result.fetched_count > 0
+        assert [e.command for e in result.events] \
+            == ["inv", "getdata", "graphene_block", "graphene_p2_request",
+                "graphene_p2_response", "getdata_shortids", "block_txs"]
+
+    def test_reconstructed_block_carries_received_header(self):
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=3)
+        result = _fetch(sc)
+        assert result.block.header.serialize() \
+            == sc.block.header.serialize()
+
+
+class TestHandshake:
+    def test_version_carries_derived_sync_nonce(self):
+        sc = make_block_scenario(n=30, extra=30, fraction=1.0, seed=1)
+        result = _fetch(sc)
+        assert result.peer.node_id == "server"
+        assert result.peer.nonce == derive_sync_nonce("server")
+
+    def test_version_mismatch_rejected(self):
+        async def run():
+            sc = make_block_scenario(n=30, extra=30, fraction=1.0, seed=1)
+            server = BlockServer(sc.block)
+            port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                conn = PeerConnection(reader, writer, "oldpeer")
+                # Speak an unknown protocol version by hand.
+                conn.send("version", encode_version("oldpeer", version=99))
+                await conn.drain()
+                # The server rejects us: either it closes (EOF on our
+                # next read) or our own handshake machinery never sees
+                # a verack.  Drain until EOF proves the disconnect.
+                while True:
+                    frame = await asyncio.wait_for(conn.read_frame(), 5)
+                    if frame is None:
+                        break
+                await conn.close()
+            finally:
+                await server.close()
+            assert server.connections_served == 1
+
+        asyncio.run(run())
+
+    def test_client_rejects_mismatched_version(self):
+        async def run():
+            async def fake_server(reader, writer):
+                decoder_conn = PeerConnection(reader, writer, "fake")
+                await decoder_conn.read_frame()  # the client's version
+                decoder_conn.send("version",
+                                  encode_version("fake", version=2))
+                await decoder_conn.drain()
+
+            server = await asyncio.start_server(fake_server,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            sc = make_block_scenario(n=10, extra=0, fraction=1.0, seed=0)
+            try:
+                with pytest.raises(ProtocolFailure, match="protocol 2"):
+                    await fetch_block("127.0.0.1", port,
+                                      sc.receiver_mempool)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+
+class TestRecoveryLadder:
+    """The simulator's timeout ladder, mapped onto asyncio timeouts."""
+
+    def test_retry_rung_reemits_and_charges_bytes(self):
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=3)
+        policy = RecoveryPolicy(max_retries=2, **FAST)
+        result = _fetch(sc, drop={"getdata": 1}, policy=policy)
+        assert result.success and not result.escalated
+        assert result.timeouts == 1 and result.retries == 1
+        outcomes = [e.outcome for e in result.events if e.outcome
+                    in ("timeout", "retry")]
+        assert outcomes == ["timeout", "retry"]
+        by_outcome = {e.outcome: e for e in result.events}
+        # The timeout event is zero-byte; the retry re-charges the
+        # original request's byte decomposition -- honest accounting,
+        # same as the simulator.
+        assert by_outcome["timeout"].wire_bytes == 0
+        assert by_outcome["retry"].wire_bytes > 0
+        assert by_outcome["retry"].command == "getdata"
+
+    def test_escalation_rung_fetches_full_block(self):
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=3)
+        policy = RecoveryPolicy(max_retries=1, **FAST)
+        # Drop every graphene request (initial + 1 retry): the client
+        # must give up on the exchange and pull the whole block.
+        result = _fetch(sc, drop={"getdata": 2}, policy=policy)
+        assert result.success and result.escalated and result.via_fullblock
+        assert [tx.txid for tx in result.txs] \
+            == [tx.txid for tx in sc.block.txs]
+        assert result.block.header.merkle_root \
+            == sc.block.header.merkle_root
+
+    def test_abandon_when_single_peer_exhausted(self):
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=3)
+        policy = RecoveryPolicy(max_retries=1, **FAST)
+        result = _fetch(sc, drop={"getdata": 5, "getdata_block": 5},
+                        policy=policy)
+        assert not result.success and result.abandoned
+        # Both rungs were climbed before giving up.
+        assert result.escalated
+        assert result.timeouts == 4  # 2 per rung (initial + 1 retry)
+
+    def test_traced_socket_run_produces_spans(self):
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=3)
+        tracer = Tracer(WallClock())
+        policy = RecoveryPolicy(max_retries=2, **FAST)
+        result = _fetch(sc, drop={"getdata": 1}, policy=policy,
+                        tracer=tracer)
+        assert result.success
+        relay_spans = tracer.spans(kind="relay")
+        assert len(relay_spans) == 1
+        span = relay_spans[0]
+        assert span.status == "done"
+        assert span.timeouts == 1 and span.retries == 1
+        assert span.end >= span.start
+        serve_spans = tracer.spans(kind="serve")
+        assert len(serve_spans) == 1
+        assert serve_spans[0].status == "served"
+
+
+class TestTransportContract:
+    """The SEND-only deliver contract is uniform across all siblings."""
+
+    @staticmethod
+    def _engines(seed=3):
+        sc = make_block_scenario(n=30, extra=30, fraction=1.0, seed=seed)
+        return (GrapheneSenderEngine(sc.block),
+                GrapheneReceiverEngine(sc.receiver_mempool))
+
+    def test_asyncio_transport_rejects_terminal_actions(self):
+        class SinkWriter:
+            def write(self, data):  # never reached
+                raise AssertionError("terminal action crossed the wire")
+
+        transport = AsyncioTransport(SinkWriter(), b"\x00" * 32)
+        for kind in (ActionKind.DONE, ActionKind.FAILED):
+            with pytest.raises(ParameterError, match="only SEND"):
+                transport.deliver(EngineAction(kind))
+
+    def test_loopback_rejects_terminal_actions(self):
+        transport = LoopbackTransport(*self._engines())
+        for kind in (ActionKind.DONE, ActionKind.FAILED):
+            with pytest.raises(ParameterError, match="only SEND"):
+                transport.deliver(EngineAction(kind))
+
+    def test_loopback_reuse_never_leaks_stale_final(self):
+        sender, receiver = self._engines()
+        transport = LoopbackTransport(sender, receiver)
+        final = transport.run()
+        assert final.kind is ActionKind.DONE
+        assert transport.final is final
+        # A second exchange on the same transport: deliver() must reset
+        # `final` on entry, so a failure mid-pump can never leave the
+        # previous exchange's DONE visible as this exchange's result.
+        sender2, receiver2 = self._engines(seed=4)
+        transport.sender, transport.receiver = sender2, receiver2
+        action = receiver2.start()
+        transport.deliver(action)
+        assert transport.final is not final
+        assert transport.final.kind is ActionKind.DONE
+
+    def test_asyncio_transport_counts_envelope_overhead(self):
+        frames = []
+
+        class ListWriter:
+            def write(self, data):
+                frames.append(bytes(data))
+
+        transport = AsyncioTransport(ListWriter(), b"\x07" * 32)
+        sender, receiver = self._engines()
+        action = receiver.start()
+        transport.deliver(action)
+        assert transport.frames_sent == 1
+        # overhead = frame envelope + the 32-byte exchange key; the
+        # analytic payload itself is not overhead.
+        assert transport.wire_overhead \
+            == len(frames[0]) - len(action.message)
