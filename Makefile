@@ -4,14 +4,16 @@
 # network-scale perf guard (100/1000-node propagation vs BENCH_NET),
 # the end-to-end network smoke test plus its run-report invariants,
 # the two-process socket relay smoke (byte parity with loopback), the
-# fixed-seed fuzz smoke, and the executable-docs check.
+# four-process mesh smoke (3 servers, failover, N:1 run-report
+# invariants), the fixed-seed fuzz smoke, and the executable-docs
+# check.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check perf-update perf-relay perf-relay-update \
 	perf-net perf-net-update profile-relay bench smoke smoke-socket \
-	report-check fuzz-smoke fuzz docs-check ci
+	smoke-mesh report-check fuzz-smoke fuzz docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +23,11 @@ smoke:
 
 smoke-socket:
 	$(PYTHON) scripts/smoke_socket.py
+
+smoke-mesh:
+	$(PYTHON) scripts/smoke_mesh.py
+	$(PYTHON) scripts/check_run_report.py --profile mesh \
+		--report results/mesh_report.json
 
 report-check: smoke
 	$(PYTHON) scripts/check_run_report.py
@@ -63,4 +70,4 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 ci: test perf-check perf-relay perf-net report-check smoke-socket \
-	fuzz-smoke docs-check
+	smoke-mesh fuzz-smoke docs-check

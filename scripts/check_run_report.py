@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""CI gate over the smoke test's run report.
+"""CI gate over a smoke test's run report.
 
-Loads ``results/run_report.json`` (written by ``scripts/smoke_net.py``)
-and exits nonzero unless every recorded invariant passed.  Splitting
-the gate from the run keeps the failure mode readable in CI logs: the
-smoke output shows *what ran*, this check shows *which accounting
-invariant drifted* -- and it also fails loudly when the report is
-missing or stale, so a refactor cannot silently stop producing it.
+Loads a report JSON and exits nonzero unless every recorded invariant
+passed.  Splitting the gate from the run keeps the failure mode
+readable in CI logs: the smoke output shows *what ran*, this check
+shows *which accounting invariant drifted* -- and it also fails loudly
+when the report is missing or stale, so a refactor cannot silently
+stop producing it.
 
-Usage::
+Two profiles, one per smoke stage::
 
-    python scripts/smoke_net.py          # produces the report
-    python scripts/check_run_report.py   # gates on it
+    python scripts/smoke_net.py          # simulator smoke
+    python scripts/check_run_report.py   # gates results/run_report.json
+
+    python scripts/smoke_mesh.py         # 3-server socket mesh smoke
+    python scripts/check_run_report.py --profile mesh \\
+        --report results/mesh_report.json
 """
 
 from __future__ import annotations
@@ -24,27 +28,43 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_REPORT = REPO / "results" / "run_report.json"
 
-#: Invariants the smoke run must have checked; a report without them is
-#: stale or produced by a drifted writer, which is itself a failure.
-REQUIRED = (
-    "graphene_line_coverage",
-    "loopback_parity_n1",
-    "relay_parts_fold_to_costbreakdown",
-    "relay_retry_bytes_within_total",
-    "relay_metrics_match_costbreakdown",
-    "chaos_coverage",
-    "chaos_no_stranded_state",
-)
+#: Invariants each profile's smoke run must have checked; a report
+#: without them is stale or produced by a drifted writer, which is
+#: itself a failure.
+REQUIRED = {
+    "net": (
+        "graphene_line_coverage",
+        "loopback_parity_n1",
+        "relay_parts_fold_to_costbreakdown",
+        "relay_retry_bytes_within_total",
+        "relay_metrics_match_costbreakdown",
+        "chaos_coverage",
+        "chaos_no_stranded_state",
+    ),
+    "mesh": (
+        "mesh_fetch_success",
+        "mesh_failover_mark",
+        "mesh_announcer_registry",
+        "mesh_surviving_path_parity",
+        "mesh_parts_fold_to_costbreakdown",
+        "mesh_retry_bytes_within_total",
+        "mesh_retry_accounting",
+    ),
+}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--report", type=Path, default=DEFAULT_REPORT)
+    parser.add_argument("--profile", choices=sorted(REQUIRED),
+                        default="net",
+                        help="which smoke stage's invariant set to "
+                             "require")
     args = parser.parse_args(argv)
 
     if not args.report.exists():
-        print(f"REPORT FAIL: {args.report} does not exist -- run "
-              "scripts/smoke_net.py first")
+        print(f"REPORT FAIL: {args.report} does not exist -- run the "
+              f"matching smoke script for profile {args.profile!r} first")
         return 1
     try:
         report = json.loads(args.report.read_text())
@@ -55,7 +75,7 @@ def main(argv=None) -> int:
     invariants = report.get("invariants", [])
     by_name = {inv.get("name"): inv for inv in invariants}
     status = 0
-    for name in REQUIRED:
+    for name in REQUIRED[args.profile]:
         if name not in by_name:
             print(f"REPORT FAIL: required invariant {name!r} missing "
                   "from the report")

@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Four-process mesh smoke: three servers feed one fetching node, the
+first announcer is blackholed, and the block must arrive via real
+socket failover.
+
+This is the CI stage that proves the peer *group* end to end across
+process boundaries -- concurrent connections, announcer registry,
+recovery-ladder failover on real TCP:
+
+    python scripts/smoke_mesh.py          # or: make smoke-mesh
+
+1. Three ``repro serve --once`` subprocesses announce the same seeded
+   block; ``server1`` runs ``--blackhole`` (handshakes and announces,
+   then never answers a request).
+2. ``repro peer --connect x3 --check-parity --json`` dials all three.
+   The fetch must stall on server1, climb the ladder (re-emit,
+   full-block escalation), fail over to a healthy announcer, and
+   complete with the surviving path byte-identical to loopback.
+3. The peer's JSON document is folded into a RunReport
+   (``results/mesh_report.json``): failover mark present, surviving
+   path parity, announcer registry complete, telemetry invariants
+   (parts fold to CostBreakdown, retry bytes within total).  The
+   report is gated by ``check_run_report.py --profile mesh``.
+
+Wall-clock is bounded: ``--timeout-base 0.3 --max-retries 1`` makes
+the full ladder (2 engine timeouts + 2 full-block timeouts + failover)
+a couple of seconds, and every subprocess runs under a hard deadline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCENARIO = ["--n", "200", "--extra", "200", "--fraction", "0.4",
+            "--seed", "2027"]
+SCENARIO_KW = dict(n=200, extra=200, fraction=0.4, seed=2027)
+STARTUP_DEADLINE = 30.0
+REPORT_PATH = REPO / "results" / "mesh_report.json"
+
+
+def python_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def start_server(env: dict, node_id: str, blackhole: bool):
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--once", "--node-id", node_id, *SCENARIO]
+    if blackhole:
+        cmd.append("--blackhole")
+    return subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True, env=env,
+                            cwd=REPO)
+
+
+def read_port(server, name: str):
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    while True:
+        if time.monotonic() > deadline:
+            print(f"FAIL: {name} never printed its port")
+            return None
+        line = server.stdout.readline()
+        if not line:
+            print(f"FAIL: {name} exited before binding "
+                  f"(rc={server.poll()})")
+            return None
+        sys.stdout.write(f"  [{name}] {line}")
+        if line.startswith("listening on "):
+            return int(line.rsplit(":", 1)[1])
+
+
+def build_report(data: dict) -> "RunReport":
+    from repro.chain.scenarios import make_block_scenario
+    from repro.core.session import BlockRelaySession
+    from repro.core.telemetry import MessageEvent
+    from repro.obs import RunReport, check_stream_invariants
+
+    report = RunReport(name="smoke-mesh",
+                       context={**SCENARIO_KW, "servers": 3,
+                               "blackholed": "server1"})
+    report.check("mesh_fetch_success", data["success"],
+                 f"protocol {data['protocol_used']}, "
+                 f"{data['total_bytes']:,} B, "
+                 f"via_fullblock={data['via_fullblock']}")
+
+    marks = [m["name"] for m in data["marks"]]
+    failover_to = [m["detail"].get("to") for m in data["marks"]
+                   if m["name"] == "failover"]
+    report.check("mesh_failover_mark",
+                 data["failovers"] >= 1 and "failover" in marks
+                 and all(to != "server1" for to in failover_to),
+                 f"marks={marks}, failed over to {failover_to}")
+    report.check("mesh_announcer_registry",
+                 len(data["announcers"]) == 3
+                 and data["announcers"][0] == "server1",
+                 f"announcers={data['announcers']} "
+                 f"(invs_seen={data['invs_seen']}, "
+                 f"duplicates={data['inv_duplicates']})")
+
+    # Surviving-path parity, recomputed here rather than trusted from
+    # the peer's own --check-parity verdict: the same seeded scenario
+    # relayed over loopback must cost exactly what the completing
+    # attempt cost on the socket.
+    sc = make_block_scenario(**SCENARIO_KW)
+    loop = BlockRelaySession().relay(sc.block, sc.receiver_mempool)
+    cost_ok = (json.dumps(data["surviving_cost"], sort_keys=True)
+               == json.dumps(loop.cost.as_dict(), sort_keys=True))
+    events_ok = (data["surviving_events"]
+                 == [e.as_dict() for e in loop.events])
+    report.check("mesh_surviving_path_parity", cost_ok and events_ok,
+                 f"cost {'ok' if cost_ok else 'MISMATCH'}, events "
+                 f"{'ok' if events_ok else 'MISMATCH'} "
+                 f"({len(data['surviving_events'])} events vs "
+                 f"{len(loop.events)} loopback)")
+
+    # The full stream (timeouts and retries included) must still obey
+    # the telemetry accounting invariants the simulator's streams obey.
+    # ``bytes`` is derived from ``parts`` at construction, so rebuild
+    # events from their decomposition fields only.
+    events = [MessageEvent(command=e["command"], direction=e["direction"],
+                           role=e["role"], phase=e["phase"],
+                           roundtrip=e["roundtrip"], parts=e["parts"],
+                           outcome=e["outcome"])
+              for e in data["events"]]
+    report.extend(check_stream_invariants({"mesh-fetch": events},
+                                          prefix="mesh"))
+    report.check("mesh_retry_accounting",
+                 data["timeouts"] >= 1 and data["retries"] >= 1
+                 and data["escalated"],
+                 f"{data['timeouts']} timeouts, {data['retries']} "
+                 f"retries, escalated={data['escalated']}")
+    return report
+
+
+def main() -> int:
+    env = python_env()
+    servers = {}
+    try:
+        for name, blackhole in (("server1", True), ("server2", False),
+                                ("server3", False)):
+            servers[name] = start_server(env, name, blackhole)
+        ports = {}
+        for name, server in servers.items():
+            port = read_port(server, name)
+            if port is None:
+                return 1
+            ports[name] = port
+
+        peer_cmd = [sys.executable, "-m", "repro", "peer",
+                    "--timeout-base", "0.3", "--max-retries", "1",
+                    "--fetch-timeout", "60", "--check-parity", "--json",
+                    *SCENARIO]
+        # Dial order = announcer order: the blackholed server1 first, so
+        # the fetch must climb the whole ladder before failing over.
+        for name in ("server1", "server2", "server3"):
+            peer_cmd += ["--connect", f"127.0.0.1:{ports[name]}"]
+        peer = subprocess.run(peer_cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE, text=True, env=env,
+                              cwd=REPO, timeout=120)
+        for line in peer.stderr.splitlines():
+            print(f"  [peer]  {line}")
+        if peer.returncode != 0:
+            print(f"FAIL: peer exited {peer.returncode} "
+                  "(fetch failed or parity mismatch)")
+            return 1
+        data = json.loads(peer.stdout)
+
+        # Every server -- including the blackholed one -- must have
+        # served (and cleanly finished) exactly one connection.
+        for name, server in servers.items():
+            out, _ = server.communicate(timeout=30)
+            for line in out.splitlines():
+                print(f"  [{name}] {line}")
+            if server.returncode != 0:
+                print(f"FAIL: {name} exited {server.returncode}")
+                return 1
+            if "served 1 connection(s)" not in out:
+                print(f"FAIL: {name} did not report exactly one "
+                      "connection")
+                return 1
+    finally:
+        for server in servers.values():
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    report = build_report(data)
+    path = report.write(REPORT_PATH)
+    print(f"wrote {len(report.invariants)} invariants to {path}")
+    for inv in report.invariants:
+        status = "ok  " if inv.ok else "FAIL"
+        print(f"  {status} {inv.name}: {inv.detail}")
+    if not report.ok:
+        print("FAIL: mesh report invariants failed")
+        return 1
+    print("smoke-mesh OK: 3-server mesh fetch completed via failover, "
+          "surviving path byte-identical to loopback")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,10 @@ Subcommands cover the workflows a user reaches for first:
 * ``fuzz``        -- run the differential fuzzing engines; minimize and
   archive any failures as replayable corpus artifacts.
 * ``serve``       -- announce and serve one synthetic block over real TCP.
-* ``peer``        -- fetch a block from a ``serve`` instance; optionally
-  assert byte parity against the loopback relay of the same scenario.
+* ``peer``        -- fetch a block from one ``serve`` instance
+  (``--port``) or from a whole node group (repeated ``--connect``,
+  optional ``--listen``); optionally assert byte parity against the
+  loopback relay of the same scenario.
 """
 
 from __future__ import annotations
@@ -320,6 +322,24 @@ def _cmd_fuzz(args) -> int:
     return 0 if stats.ok else 1
 
 
+#: ``--blackhole`` drops every request command forever: the server
+#: handshakes and announces, then never answers -- the deterministic
+#: stand-in for a peer that went dark mid-exchange.
+_REQUEST_COMMANDS = ("getdata", "graphene_p2_request", "getdata_shortids",
+                     "getdata_block")
+
+
+def _parse_drops(specs, blackhole: bool) -> dict:
+    """``--drop CMD[:N]`` specs (plus ``--blackhole``) -> {command: count}."""
+    drops: dict = {}
+    if blackhole:
+        drops.update({cmd: 10 ** 9 for cmd in _REQUEST_COMMANDS})
+    for spec in specs or ():
+        command, _, count = spec.partition(":")
+        drops[command] = int(count) if count else 1
+    return drops
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -327,9 +347,11 @@ def _cmd_serve(args) -> int:
 
     scenario = make_block_scenario(n=args.n, extra=args.extra,
                                    fraction=args.fraction, seed=args.seed)
+    drops = _parse_drops(args.drop, args.blackhole)
 
     async def run() -> int:
-        server = BlockServer(scenario.block)
+        server = BlockServer(scenario.block, node_id=args.node_id,
+                             drop=drops)
         port = await server.start(args.host, args.port)
         # Parseable by scripts that pass --port 0 and need the real one.
         print(f"listening on {args.host}:{port}", flush=True)
@@ -349,15 +371,121 @@ def _cmd_serve(args) -> int:
         return 0
 
 
+def _run_mesh_peer(args, scenario, policy) -> int:
+    """The node-group path of ``repro peer``: every ``--connect`` target
+    is dialed into one :class:`~repro.net.peer.PeerManager`, the first
+    announced block is fetched under the full recovery ladder (failover
+    included), and the traced marks come out in the JSON document."""
+    import asyncio
+
+    from repro.net.peer import PeerManager
+    from repro.obs import Tracer, WallClock
+
+    tracer = Tracer(WallClock())
+    out = sys.stderr if args.json else sys.stdout
+
+    async def run():
+        manager = PeerManager(node_id=args.node_id,
+                              mempool=scenario.receiver_mempool,
+                              policy=policy, tracer=tracer)
+        try:
+            if args.listen is not None:
+                port = await manager.listen(args.host, args.listen)
+                print(f"listening on {args.host}:{port}", file=out,
+                      flush=True)
+            for target in args.connect:
+                host, _, port = target.rpartition(":")
+                cid = await manager.connect(host or "127.0.0.1", int(port))
+                print(f"connected to {manager.connections[cid].label} "
+                      f"at {target}", file=out, flush=True)
+            result = await manager.fetch_next(timeout=args.fetch_timeout)
+        finally:
+            await manager.close()
+        return manager, result
+
+    try:
+        manager, result = asyncio.run(run())
+    except asyncio.TimeoutError:
+        print(f"peer: no fetch completed within {args.fetch_timeout}s",
+              file=sys.stderr)
+        return 1
+    print(f"fetched block {result.root.hex()[:12]} via "
+          f"{len(result.announcers)} announcer(s) "
+          f"{'/'.join(result.announcers)}: success={result.success} "
+          f"protocol {result.protocol_used}, {result.total_bytes:,} B "
+          f"graphene (+{result.wire_overhead} B frame overhead)", file=out)
+    if result.timeouts or result.escalated or result.failovers:
+        print(f"  recovery: {result.timeouts} timeouts, {result.retries} "
+              f"retries, escalated={result.escalated}, "
+              f"failovers={result.failovers}, "
+              f"abandoned={result.abandoned}, "
+              f"via_fullblock={result.via_fullblock}", file=out)
+    for mark in tracer.marks:
+        detail = " ".join(f"{k}={v}" for k, v in mark.detail)
+        print(f"  mark {mark.name}" + (f" ({detail})" if detail else ""),
+              file=out)
+    ok = result.success
+    if args.check_parity:
+        # Failed announcers cost honest retry bytes, so mesh parity is
+        # checked on the *surviving path*: the attempt that completed.
+        fresh = make_block_scenario(n=args.n, extra=args.extra,
+                                    fraction=args.fraction, seed=args.seed)
+        loop = BlockRelaySession().relay(fresh.block, fresh.receiver_mempool)
+        cost_ok = (json.dumps(result.surviving_cost.as_dict(),
+                              sort_keys=True)
+                   == json.dumps(loop.cost.as_dict(), sort_keys=True))
+        events_ok = ([e.as_dict() for e in result.surviving_events]
+                     == [e.as_dict() for e in loop.events])
+        print(f"  loopback parity (surviving path): cost "
+              f"{'ok' if cost_ok else 'MISMATCH'}, events "
+              f"{'ok' if events_ok else 'MISMATCH'} "
+              f"({len(result.surviving_events)} events, "
+              f"{loop.total_bytes:,} B)", file=out)
+        ok = ok and cost_ok and events_ok
+    if args.json:
+        json.dump({"success": result.success,
+                   "protocol_used": result.protocol_used,
+                   "roundtrips": result.roundtrips,
+                   "total_bytes": result.total_bytes,
+                   "wire_overhead": result.wire_overhead,
+                   "timeouts": result.timeouts,
+                   "retries": result.retries,
+                   "escalated": result.escalated,
+                   "failovers": result.failovers,
+                   "abandoned": result.abandoned,
+                   "via_fullblock": result.via_fullblock,
+                   "announcers": result.announcers,
+                   "invs_seen": manager.invs_seen,
+                   "inv_duplicates": manager.inv_duplicates,
+                   "frames_shed": manager.frames_shed,
+                   "marks": [{"name": m.name, "detail": dict(m.detail)}
+                             for m in tracer.marks],
+                   "cost": result.cost.as_dict(),
+                   "surviving_cost": result.surviving_cost.as_dict(),
+                   "events": [e.as_dict() for e in result.events],
+                   "surviving_events": [e.as_dict()
+                                        for e in result.surviving_events]},
+                  sys.stdout, indent=1)
+        print()
+    return 0 if ok else 1
+
+
 def _cmd_peer(args) -> int:
     import asyncio
 
     from repro.net.peer import fetch_block
     from repro.net.recovery import RecoveryPolicy
 
+    if not args.connect and args.port is None:
+        print("peer: give --port for one server or --connect HOST:PORT "
+              "(repeatable) for a node group", file=sys.stderr)
+        return 2
     scenario = make_block_scenario(n=args.n, extra=args.extra,
                                    fraction=args.fraction, seed=args.seed)
-    policy = RecoveryPolicy(timeout_base=args.timeout_base)
+    policy = RecoveryPolicy(timeout_base=args.timeout_base,
+                            max_retries=args.max_retries)
+    if args.connect:
+        return _run_mesh_peer(args, scenario, policy)
     result = asyncio.run(fetch_block(args.host, args.port,
                                      scenario.receiver_mempool,
                                      policy=policy))
@@ -565,21 +693,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "is printed as 'listening on HOST:PORT'")
     serve.add_argument("--once", action="store_true",
                        help="exit after serving one connection")
+    serve.add_argument("--node-id", default="server",
+                       help="identity announced in the version handshake")
+    serve.add_argument("--drop", action="append", default=None,
+                       metavar="CMD[:N]",
+                       help="ignore the first N inbound CMD frames "
+                            "(default 1); repeatable")
+    serve.add_argument("--blackhole", action="store_true",
+                       help="never answer any request: handshake and "
+                            "announce, then go dark (forces the "
+                            "fetcher's recovery ladder)")
     serve.set_defaults(func=_cmd_serve)
 
     peer = sub.add_parser("peer",
-                          help="fetch a block from a running serve "
-                               "instance")
+                          help="fetch a block from a serve instance "
+                               "(--port) or a node group (--connect)")
     _add_socket_scenario_args(peer)
-    peer.add_argument("--port", type=int, required=True)
+    peer.add_argument("--port", type=int, default=None,
+                      help="single-connection mode: the one server port")
+    peer.add_argument("--connect", action="append", default=None,
+                      metavar="HOST:PORT",
+                      help="mesh mode: dial this peer (repeatable); "
+                           "the ladder can fail over between them")
+    peer.add_argument("--listen", type=int, default=None, metavar="PORT",
+                      help="mesh mode: also accept inbound peers (and "
+                           "re-serve fetched blocks); 0 = ephemeral")
+    peer.add_argument("--node-id", default="peer",
+                      help="identity announced in the version handshake")
     peer.add_argument("--timeout-base", type=float, default=2.0,
                       help="first-attempt response timeout (seconds)")
+    peer.add_argument("--max-retries", type=int, default=3,
+                      help="resends per recovery rung before escalating")
+    peer.add_argument("--fetch-timeout", type=float, default=120.0,
+                      help="mesh mode: overall wall-clock budget for "
+                           "the fetch (seconds)")
     peer.add_argument("--check-parity", action="store_true",
                       help="also run the loopback relay of the same "
                            "scenario and require byte-identical cost "
-                           "and telemetry")
+                           "and telemetry (mesh mode compares the "
+                           "surviving path)")
     peer.add_argument("--json", action="store_true",
-                      help="dump the result (cost, events) as JSON")
+                      help="dump the result (cost, events, marks) "
+                           "as JSON")
     peer.set_defaults(func=_cmd_peer)
 
     return parser

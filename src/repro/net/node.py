@@ -587,6 +587,10 @@ class Node(RelayRecoveryMixin, MempoolSyncMixin):
             state.stage = STAGE_FULLBLOCK
             state.attempts = 0
         self._send_fullblock_getdata(sender, root)
+        # Real bytes, honestly charged -- and the anchor the rung's
+        # later retry events re-charge against.
+        self._record_recovery_event(
+            root, "", parts={"extra_getdata": getdata_bytes(0)})
         self._arm_block_timer(root)
 
     def _try_accept_candidate(self, sender: "Node", root: bytes,

@@ -6,6 +6,12 @@ behind a length-prefixed frame codec and a version/verack handshake on
 real TCP streams.  ``repro serve`` / ``repro peer`` are the CLI front
 ends; ``tests/test_peer_socket.py`` pins socket relays byte-identical
 to their loopback twins.
+
+:mod:`repro.net.peer.manager` grows the stack from point-to-point into
+a peer *group*: :class:`PeerManager` runs a listener and a dial list in
+one event loop, demultiplexes concurrent exchanges by root key, and
+maps the full recovery ladder -- including alternate-announcer
+failover -- onto real sockets (see docs/PEERING.md).
 """
 
 from repro.net.peer.framing import (
@@ -18,6 +24,11 @@ from repro.net.peer.framing import (
     MAGIC,
     MAX_COMMAND,
     MAX_PAYLOAD,
+)
+from repro.net.peer.manager import (
+    MeshConnection,
+    MeshFetchResult,
+    PeerManager,
 )
 from repro.net.peer.peer import (
     BlockServer,
@@ -57,7 +68,10 @@ __all__ = [
     "MAGIC",
     "MAX_COMMAND",
     "MAX_PAYLOAD",
+    "MeshConnection",
+    "MeshFetchResult",
     "PROTOCOL_VERSION",
+    "PeerManager",
     "PeerConnection",
     "PeerFetchResult",
     "ROOT_BYTES",

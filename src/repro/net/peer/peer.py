@@ -418,6 +418,10 @@ async def _drive_exchange(conn: PeerConnection,
                 escalated = True
                 attempts = 0
                 conn.send("getdata_block", encode_inv(root))
+                # Real bytes, honestly charged -- and the anchor the
+                # rung's later retry events re-charge against.
+                receiver.telemetry.append(_fullblock_event(
+                    "", {"extra_getdata": getdata_bytes(0)}))
                 await conn.drain()
                 continue
             # Rung 3 needs another announcer; one connection has none.
@@ -452,6 +456,8 @@ async def _drive_exchange(conn: PeerConnection,
                 mark("escalate", why="decode_failed")
                 escalated = True
                 conn.send("getdata_block", encode_inv(root))
+                receiver.telemetry.append(_fullblock_event(
+                    "", {"extra_getdata": getdata_bytes(0)}))
                 await conn.drain()
             else:
                 final = action

@@ -179,6 +179,11 @@ class RelayRecoveryMixin:
             state.attempts = 0
             self._rx_engines.pop(root, None)
             self._send_fullblock_getdata(state.peer, root)
+            # Record the escalation request itself: it is real bytes,
+            # and the rung's later retries must re-charge a
+            # decomposition some earlier send actually carried.
+            self._record_recovery_event(
+                root, "", parts={"extra_getdata": getdata_bytes(0)})
             self._arm_block_timer(root)
             return
         # Rung 3: this peer is a lost cause; fail over to the next
