@@ -2,6 +2,7 @@
 # commit must pass: the tier-1 test suite, the PDS perf guard, the
 # relay-throughput perf guard (baseline compare + profile budget), the
 # network-scale perf guard (100/1000-node propagation vs BENCH_NET),
+# the Protocol 3 byte-accounting guard (head-to-head vs BENCH_P3),
 # the end-to-end network smoke test plus its run-report invariants,
 # the two-process socket relay smoke (byte parity with loopback), the
 # four-process mesh smoke (3 servers, failover, N:1 run-report
@@ -12,8 +13,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test perf perf-check perf-update perf-relay perf-relay-update \
-	perf-net perf-net-update profile-relay bench smoke smoke-socket \
-	smoke-mesh report-check fuzz-smoke fuzz docs-check ci
+	perf-net perf-net-update perf-p3 perf-p3-update profile-relay \
+	bench smoke smoke-socket smoke-mesh report-check fuzz-smoke fuzz \
+	docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -63,11 +65,17 @@ perf-net:
 perf-net-update:
 	$(PYTHON) scripts/check_perf.py --suite net --update
 
+perf-p3:
+	$(PYTHON) scripts/check_perf.py --suite p3
+
+perf-p3-update:
+	$(PYTHON) scripts/check_perf.py --suite p3 --update
+
 profile-relay:
 	$(PYTHON) benchmarks/profile_relay.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-ci: test perf-check perf-relay perf-net report-check smoke-socket \
+ci: test perf-check perf-relay perf-net perf-p3 report-check smoke-socket \
 	smoke-mesh fuzz-smoke docs-check

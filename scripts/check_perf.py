@@ -11,6 +11,13 @@ Three suites, selected with ``--suite``:
 * ``net`` -- re-runs :mod:`bench_net` (100- and 1000-node multi-block
   propagation) and compares events/sec against the committed
   ``BENCH_NET.json``.
+* ``p3`` -- re-runs :mod:`bench_p3` (Protocol 3 vs P1/P2, oracle-sized
+  P1 and CPISync over the Fig. 14/18 grids) and compares the byte
+  accounting against the committed ``BENCH_P3.json``.  Unlike the
+  other suites this one measures bytes under fixed seeds, not wall
+  clock, so it is machine-independent: any drift beyond
+  ``P3_BYTES_DRIFT`` is a hard failure everywhere, and the 2.5x
+  bytes-vs-oracle acceptance bound is re-enforced on every run.
 
 Either comparison exits nonzero when a case regresses by more than
 ``--threshold`` (default 1.5x).  The comparison is to wall clock on the
@@ -47,6 +54,12 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 PDS_BASELINE_PATH = REPO / "BENCH_PDS.json"
 RELAY_BASELINE_PATH = REPO / "BENCH_RELAY.json"
 NET_BASELINE_PATH = REPO / "BENCH_NET.json"
+P3_BASELINE_PATH = REPO / "BENCH_P3.json"
+
+#: The p3 suite is deterministic byte accounting (fixed seeds, no wall
+#: clock), so the compare tolerance is tight: a case fails when its
+#: total grows past baseline * (1 + drift).  Shrinking totals pass.
+P3_BYTES_DRIFT = 0.02
 
 #: Whole-pipeline relay rates measured at this repo's state *before*
 #: the hot-path round 2 optimization pass, on the same machine class
@@ -264,9 +277,70 @@ def run_net(args: argparse.Namespace) -> int:
     return verdict(failures, baseline, args.threshold)
 
 
+def run_p3(args: argparse.Namespace) -> int:
+    from bench_p3 import RATIO_BOUND, check_bounds, run_suite, write_results
+
+    if not P3_BASELINE_PATH.exists() and not args.update:
+        print(f"no baseline at {P3_BASELINE_PATH}; run with --update "
+              "first", file=sys.stderr)
+        return 2
+
+    rows = run_suite()
+    problems = check_bounds(rows)
+    for problem in problems:
+        print(f"BOUND VIOLATION: {problem}", file=sys.stderr)
+
+    if args.update:
+        if problems:
+            print("refusing update: the bytes-vs-oracle acceptance bound "
+                  "regressed", file=sys.stderr)
+            return 1
+        P3_BASELINE_PATH.write_text(json.dumps(
+            {"units": "bytes",
+             "machine": machine_stanza(),
+             "ratio_bound": RATIO_BOUND,
+             "note": ("deterministic byte accounting of Protocol 3 vs "
+                      "P1/P2, an oracle-sized P1 and CPISync over the "
+                      "Fig. 14/18 grids under fixed seeds; machine-"
+                      "independent, so drift is a hard failure on any "
+                      "host"),
+             "cases": rows}, indent=1) + "\n")
+        write_results(rows)
+        print(f"baseline rewritten: {P3_BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(P3_BASELINE_PATH.read_text())
+    committed_rows = {r["case"]: r for r in baseline["cases"]}
+    failures = []
+    for row in rows:
+        committed = committed_rows.get(row["case"])
+        if committed is None:
+            continue
+        ratio = (row["p3_bytes"] / committed["p3_bytes"]
+                 if committed["p3_bytes"] else float("inf"))
+        grew = row["p3_bytes"] > committed["p3_bytes"] * (1 + P3_BYTES_DRIFT)
+        flag = "REGRESSION" if grew else "ok"
+        print(f"{row['case']:18s} baseline={committed['p3_bytes']:10.1f} "
+              f"now={row['p3_bytes']:10.1f} bytes  x{ratio:.4f}  {flag}")
+        if grew:
+            failures.append((row["case"], ratio))
+
+    if problems:
+        return 1
+    if failures:
+        print(f"\n{len(failures)} case(s) grew more than "
+              f"{P3_BYTES_DRIFT:.0%} over the committed byte baseline; "
+              "the accounting is deterministic, so this is a real "
+              "protocol change -- verify it and re-run with --update",
+              file=sys.stderr)
+        return 1
+    print("\nall cases within drift tolerance; oracle bound holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pds", "relay", "net"),
+    parser.add_argument("--suite", choices=("pds", "relay", "net", "p3"),
                         default="pds",
                         help="which baseline to check (default: pds)")
     parser.add_argument("--threshold", type=float, default=1.5,
@@ -285,6 +359,8 @@ def main() -> int:
         return run_relay(args)
     if args.suite == "net":
         return run_net(args)
+    if args.suite == "p3":
+        return run_p3(args)
     return run_pds(args)
 
 

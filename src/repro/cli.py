@@ -36,6 +36,7 @@ from repro.chain.block import Block
 from repro.chain.scenarios import make_block_scenario, make_sync_scenario
 from repro.chain.transaction import TransactionGenerator
 from repro.core.mempool_sync import synchronize_mempools
+from repro.core.params import GrapheneConfig
 from repro.core.session import BlockRelaySession
 
 
@@ -44,8 +45,9 @@ def _cmd_relay(args) -> int:
                                    fraction=args.fraction, seed=args.seed)
     print(f"block: {scenario.n} txns, receiver mempool: {scenario.m} txns, "
           f"holds {args.fraction:.0%} of block")
-    outcome = BlockRelaySession().relay(scenario.block,
-                                        scenario.receiver_mempool)
+    config = GrapheneConfig(protocol=3 if args.p3 else 1)
+    outcome = BlockRelaySession(config).relay(scenario.block,
+                                              scenario.receiver_mempool)
     print(f"  graphene       {outcome.total_bytes:>9,} B  "
           f"protocol {outcome.protocol_used}  {outcome.roundtrips} RTT  "
           f"success={outcome.success}")
@@ -70,7 +72,9 @@ def _cmd_sync(args) -> int:
     scenario = make_sync_scenario(n=args.n, fraction_common=args.common,
                                   seed=args.seed)
     result = synchronize_mempools(scenario.sender_mempool,
-                                  scenario.receiver_mempool)
+                                  scenario.receiver_mempool,
+                                  GrapheneConfig(protocol=3 if args.p3
+                                                 else 1))
     print(f"mempools of {args.n} txns, {args.common:.0%} common")
     print(f"  protocol {result.protocol_used}, {result.roundtrips} RTT, "
           f"{result.total_bytes:,} B encoding")
@@ -325,7 +329,8 @@ def _cmd_fuzz(args) -> int:
 #: ``--blackhole`` drops every request command forever: the server
 #: handshakes and announces, then never answers -- the deterministic
 #: stand-in for a peer that went dark mid-exchange.
-_REQUEST_COMMANDS = ("getdata", "graphene_p2_request", "getdata_shortids",
+_REQUEST_COMMANDS = ("getdata", "graphene_p2_request",
+                     "graphene_p3_request", "getdata_shortids",
                      "getdata_block")
 
 
@@ -350,8 +355,10 @@ def _cmd_serve(args) -> int:
     drops = _parse_drops(args.drop, args.blackhole)
 
     async def run() -> int:
-        server = BlockServer(scenario.block, node_id=args.node_id,
-                             drop=drops)
+        server = BlockServer(scenario.block,
+                             config=GrapheneConfig(
+                                 protocol=3 if args.p3 else 1),
+                             node_id=args.node_id, drop=drops)
         port = await server.start(args.host, args.port)
         # Parseable by scripts that pass --port 0 and need the real one.
         print(f"listening on {args.host}:{port}", flush=True)
@@ -371,7 +378,7 @@ def _cmd_serve(args) -> int:
         return 0
 
 
-def _run_mesh_peer(args, scenario, policy) -> int:
+def _run_mesh_peer(args, scenario, policy, config=None) -> int:
     """The node-group path of ``repro peer``: every ``--connect`` target
     is dialed into one :class:`~repro.net.peer.PeerManager`, the first
     announced block is fetched under the full recovery ladder (failover
@@ -387,7 +394,8 @@ def _run_mesh_peer(args, scenario, policy) -> int:
     async def run():
         manager = PeerManager(node_id=args.node_id,
                               mempool=scenario.receiver_mempool,
-                              policy=policy, tracer=tracer)
+                              config=config, policy=policy,
+                              tracer=tracer)
         try:
             if args.listen is not None:
                 port = await manager.listen(args.host, args.listen)
@@ -430,7 +438,8 @@ def _run_mesh_peer(args, scenario, policy) -> int:
         # checked on the *surviving path*: the attempt that completed.
         fresh = make_block_scenario(n=args.n, extra=args.extra,
                                     fraction=args.fraction, seed=args.seed)
-        loop = BlockRelaySession().relay(fresh.block, fresh.receiver_mempool)
+        loop = BlockRelaySession(config).relay(fresh.block,
+                                               fresh.receiver_mempool)
         cost_ok = (json.dumps(result.surviving_cost.as_dict(),
                               sort_keys=True)
                    == json.dumps(loop.cost.as_dict(), sort_keys=True))
@@ -475,6 +484,7 @@ def _cmd_peer(args) -> int:
 
     from repro.net.peer import fetch_block
     from repro.net.recovery import RecoveryPolicy
+    from repro.obs import Tracer, WallClock
 
     if not args.connect and args.port is None:
         print("peer: give --port for one server or --connect HOST:PORT "
@@ -484,11 +494,14 @@ def _cmd_peer(args) -> int:
                                    fraction=args.fraction, seed=args.seed)
     policy = RecoveryPolicy(timeout_base=args.timeout_base,
                             max_retries=args.max_retries)
+    config = GrapheneConfig(protocol=3 if args.p3 else 1)
     if args.connect:
-        return _run_mesh_peer(args, scenario, policy)
+        return _run_mesh_peer(args, scenario, policy, config)
+    tracer = Tracer(WallClock())
     result = asyncio.run(fetch_block(args.host, args.port,
                                      scenario.receiver_mempool,
-                                     policy=policy))
+                                     config=config, policy=policy,
+                                     tracer=tracer))
     # With --json, stdout carries only the JSON document.
     out = sys.stderr if args.json else sys.stdout
     print(f"fetched block {result.root.hex()[:12]} from "
@@ -496,14 +509,16 @@ def _cmd_peer(args) -> int:
           f"protocol {result.protocol_used}, {result.roundtrips} RTT, "
           f"{result.total_bytes:,} B graphene "
           f"(+{result.wire_overhead} B frame overhead)", file=out)
-    if result.timeouts or result.escalated:
+    if result.timeouts or result.escalated or result.abandoned:
         print(f"  recovery: {result.timeouts} timeouts, {result.retries} "
               f"retries, escalated={result.escalated}, "
               f"abandoned={result.abandoned}", file=out)
+        for m in tracer.marks:
+            print(f"    mark {m.name}: {dict(m.detail)}", file=out)
     ok = result.success
     if args.check_parity:
-        loop = BlockRelaySession().relay(scenario.block,
-                                         scenario.receiver_mempool)
+        loop = BlockRelaySession(config).relay(scenario.block,
+                                               scenario.receiver_mempool)
         cost_ok = (json.dumps(result.cost.as_dict(), sort_keys=True)
                    == json.dumps(loop.cost.as_dict(), sort_keys=True))
         events_ok = ([e.as_dict() for e in result.events]
@@ -515,6 +530,10 @@ def _cmd_peer(args) -> int:
               file=out)
         ok = ok and cost_ok and events_ok
     if args.json:
+        # Abandoned runs must still tell the whole story: the recovery
+        # ladder's marks and the bytes burned before giving up used to
+        # be dropped here, leaving success=false documents with no
+        # explanation of *how* the fetch died.
         json.dump({"success": result.success,
                    "protocol_used": result.protocol_used,
                    "roundtrips": result.roundtrips,
@@ -522,6 +541,11 @@ def _cmd_peer(args) -> int:
                    "wire_overhead": result.wire_overhead,
                    "timeouts": result.timeouts,
                    "retries": result.retries,
+                   "escalated": result.escalated,
+                   "abandoned": result.abandoned,
+                   "via_fullblock": result.via_fullblock,
+                   "marks": [{"name": m.name, "detail": dict(m.detail)}
+                             for m in tracer.marks],
                    "cost": result.cost.as_dict(),
                    "events": [e.as_dict() for e in result.events]},
                   sys.stdout, indent=1)
@@ -557,12 +581,18 @@ def build_parser() -> argparse.ArgumentParser:
     relay.add_argument("--fraction", type=float, default=1.0)
     relay.add_argument("--seed", type=int, default=0)
     relay.add_argument("--breakdown", action="store_true")
+    relay.add_argument("--p3", action="store_true",
+                       help="use Protocol 3 (rateless symbol stream) "
+                            "instead of Protocol 1 with P2 fallback")
     relay.set_defaults(func=_cmd_relay)
 
     sync = sub.add_parser("sync", help="synchronize two mempools")
     sync.add_argument("--n", type=int, default=1000)
     sync.add_argument("--common", type=float, default=0.5)
     sync.add_argument("--seed", type=int, default=0)
+    sync.add_argument("--p3", action="store_true",
+                      help="reconcile with the rateless Protocol 3 "
+                           "encoding")
     sync.set_defaults(func=_cmd_sync)
 
     params = sub.add_parser("iblt-params",
@@ -683,6 +713,9 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--extra", type=int, default=200)
         parser.add_argument("--fraction", type=float, default=1.0)
         parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--p3", action="store_true",
+                            help="speak Protocol 3 (rateless symbol "
+                                 "stream); both ends must agree")
 
     serve = sub.add_parser("serve",
                            help="announce and serve one synthetic block "

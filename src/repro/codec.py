@@ -44,6 +44,7 @@ from repro.chain.transaction import Transaction
 from repro.errors import ParameterError
 from repro.pds.bloom import BloomFilter
 from repro.pds.iblt import IBLT
+from repro.pds.riblt import SYMBOL_BATCH_HEADER_BYTES, SYMBOL_BYTES
 from repro.utils.serialization import compact_size, read_compact_size
 
 try:  # optional vector backend (fastpath gates usage)
@@ -297,6 +298,124 @@ def decode_iblt(data, offset: int = 0) -> tuple[IBLT, int]:
 
 
 # ---------------------------------------------------------------------------
+# Rateless IBLT coded-symbol batches (Protocol 3)
+# ---------------------------------------------------------------------------
+
+#: One coded symbol on the wire: ``count i32 | keySum u64 | checkSum u16``.
+_SYMBOL_STRUCT = struct.Struct("<iQH")
+
+#: Bounds of the on-wire symbol ``count i32`` field.
+_I32_MIN, _I32_MAX = -0x80000000, 0x7FFFFFFF
+
+
+def _encode_symbols_py(batch) -> bytes:
+    """Reference symbol serialization: per-symbol ``struct`` packing."""
+    out = bytearray()
+    pack_symbol = _SYMBOL_STRUCT.pack
+    try:
+        for count, key_sum, check in zip(batch.counts, batch.key_sums,
+                                         batch.check_sums):
+            out += pack_symbol(count, key_sum, check & 0xFFFF)
+    except struct.error as exc:
+        raise ParameterError(f"symbol count overflows i32: {exc}") from exc
+    return bytes(out)
+
+
+def _encode_symbols_vector(batch) -> bytes:
+    """Vectorized symbol serialization, byte-identical to the reference."""
+    n = len(batch.counts)
+    counts = _np.asarray(batch.counts, dtype=_np.int64)
+    if counts.size and ((counts < _I32_MIN) | (counts > _I32_MAX)).any():
+        raise ParameterError(
+            "symbol count overflows i32: count outside +-2^31")
+    keys = _np.asarray(batch.key_sums, dtype=_np.uint64)
+    checks = _np.asarray(batch.check_sums, dtype=_np.uint64) \
+        & _np.uint64(0xFFFF)
+    body = _np.empty((n, SYMBOL_BYTES), dtype=_np.uint8)
+    body[:, 0:4] = counts.astype("<i4").view(_np.uint8).reshape(n, 4)
+    body[:, 4:12] = keys.astype("<u8", copy=False) \
+        .view(_np.uint8).reshape(n, 8)
+    body[:, 12:14] = checks.astype("<u8", copy=False) \
+        .view(_np.uint8).reshape(n, 8)[:, :2]
+    return body.tobytes()
+
+
+def encode_symbol_batch(batch) -> bytes:
+    """Serialize a :class:`~repro.core.protocol3.SymbolBatch`.
+
+    Layout: ``start u32 | count u16`` then ``count`` coded symbols;
+    length equals ``batch.wire_size()``.
+    """
+    n = len(batch.counts)
+    if n > 0xFFFF:
+        raise ParameterError(f"symbol batch of {n} exceeds u16 framing")
+    header = struct.pack("<IH", batch.start & _U32, n)
+    if _np is not None and fastpath.fastpath_enabled():
+        return header + _encode_symbols_vector(batch)
+    return header + _encode_symbols_py(batch)
+
+
+def decode_symbol_batch(data, offset: int = 0):
+    """Parse a symbol batch; returns ``(SymbolBatch, new_offset)``.
+
+    The claimed symbol count is bounded against the buffer before any
+    allocation, so a hostile 6-byte header cannot drive reads past the
+    receive buffer.
+    """
+    from array import array
+
+    from repro.core.protocol3 import SymbolBatch
+
+    if offset + SYMBOL_BATCH_HEADER_BYTES > len(data):
+        raise ParameterError(
+            "buffer exhausted while reading symbol batch header")
+    start, n = struct.unpack_from("<IH", data, offset)
+    offset += SYMBOL_BATCH_HEADER_BYTES
+    body = n * SYMBOL_BYTES
+    if offset + body > len(data):
+        raise ParameterError(
+            "buffer exhausted while reading coded symbols")
+    counts = array("q", bytes(8 * n))
+    key_sums = array("Q", bytes(8 * n))
+    check_sums = array("Q", bytes(8 * n))
+    if _np is not None and fastpath.fastpath_enabled():
+        grid = _np.frombuffer(data, dtype=_np.uint8, count=body,
+                              offset=offset).reshape(n, SYMBOL_BYTES)
+        _np.frombuffer(counts, dtype=_np.int64)[:] = \
+            _np.ascontiguousarray(grid[:, 0:4]).view("<i4").ravel()
+        _np.frombuffer(key_sums, dtype=_np.uint64)[:] = \
+            _np.ascontiguousarray(grid[:, 4:12]).view("<u8").ravel()
+        padded = _np.zeros((n, 8), dtype=_np.uint8)
+        padded[:, :2] = grid[:, 12:14]
+        _np.frombuffer(check_sums, dtype=_np.uint64)[:] = \
+            padded.view("<u8").ravel()
+    else:
+        for i, (count, key_sum, check) in enumerate(
+                _SYMBOL_STRUCT.iter_unpack(data[offset:offset + body])):
+            counts[i] = count
+            key_sums[i] = key_sum
+            check_sums[i] = check
+    return SymbolBatch(start=start, counts=counts, key_sums=key_sums,
+                       check_sums=check_sums), offset + body
+
+
+def encode_protocol3_request(start: int, count: int) -> bytes:
+    """Serialize a continuation request for symbols ``[start, start+count)``."""
+    if not 0 <= count <= 0xFFFF:
+        raise ParameterError(f"symbol request count {count} outside u16")
+    return struct.pack("<IH", start & _U32, count)
+
+
+def decode_protocol3_request(data, offset: int = 0) -> tuple[int, int, int]:
+    """Parse a continuation request; returns ``(start, count, new_offset)``."""
+    if offset + 6 > len(data):
+        raise ParameterError(
+            "buffer exhausted while reading symbol request")
+    start, count = struct.unpack_from("<IH", data, offset)
+    return start, count, offset + 6
+
+
+# ---------------------------------------------------------------------------
 # Block headers
 # ---------------------------------------------------------------------------
 
@@ -413,6 +532,43 @@ def decode_protocol1_payload(data: bytes, offset: int = 0):
         bloom_bytes=bloom.serialized_size(),
         iblt_bytes=iblt.serialized_size())
     payload = Protocol1Payload(n=n, bloom_s=bloom, iblt_i=iblt,
+                               recover=recover, plan=plan,
+                               prefilled=tuple(prefilled))
+    return payload, offset
+
+
+def encode_protocol3_payload(payload) -> bytes:
+    """Serialize a Protocol 3 opening (counts + prefilled + S + symbols)."""
+    return (compact_size(payload.n) + compact_size(payload.recover)
+            + encode_tx_list(payload.prefilled)
+            + encode_bloom(payload.bloom_s)
+            + encode_symbol_batch(payload.symbols))
+
+
+def decode_protocol3_payload(data: bytes, offset: int = 0):
+    """Parse a Protocol 3 opening; returns ``(payload, new_offset)``.
+
+    As with Protocol 1, the sender-side sizing plan is not on the
+    wire; the receive side never consults it for Protocol 3 (there is
+    no IBLT to size), so the rebuilt plan only restores S's parameters
+    for introspection.
+    """
+    from repro.core.params import FilterIBLTPlan
+    from repro.core.protocol3 import Protocol3Payload
+    from repro.pds.param_table import IBLTParams
+
+    n, offset = read_compact_size(data, offset)
+    recover, offset = read_compact_size(data, offset)
+    prefilled, offset = decode_tx_list(data, offset)
+    bloom, offset = decode_bloom(data, offset)
+    batch, offset = decode_symbol_batch(data, offset)
+    restore_bloom_load(bloom, n)
+    fpr = bloom.actual_fpr() if bloom.nbits else 1.0
+    plan = FilterIBLTPlan(
+        a=0, fpr=fpr if fpr > 0 else 1.0, recover=recover,
+        iblt=IBLTParams(cells=0, k=4),
+        bloom_bytes=bloom.serialized_size(), iblt_bytes=0)
+    payload = Protocol3Payload(n=n, bloom_s=bloom, symbols=batch,
                                recover=recover, plan=plan,
                                prefilled=tuple(prefilled))
     return payload, offset

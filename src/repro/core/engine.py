@@ -54,10 +54,16 @@ from repro.codec import (
     decode_protocol1_payload,
     decode_protocol2_request,
     decode_protocol2_response,
+    decode_protocol3_payload,
+    decode_protocol3_request,
+    decode_symbol_batch,
     decode_tx_list,
     encode_protocol1_payload,
     encode_protocol2_request,
     encode_protocol2_response,
+    encode_protocol3_payload,
+    encode_protocol3_request,
+    encode_symbol_batch,
     encode_tx_list,
 )
 from repro.core.params import GrapheneConfig
@@ -68,9 +74,23 @@ from repro.core.protocol2 import (
     finish_protocol2,
     respond_protocol2,
 )
-from repro.core.sizing import getdata_bytes, inv_bytes, short_id_request_bytes
+from repro.core.protocol3 import (
+    Protocol3ReceiverState,
+    begin_protocol3,
+    build_protocol3,
+    finish_protocol3,
+    ingest_symbols,
+    make_encoder,
+    next_batch_size,
+)
+from repro.core.sizing import (
+    getdata_bytes,
+    inv_bytes,
+    p3_request_bytes,
+    short_id_request_bytes,
+)
 from repro.core.telemetry import EventRecorder, MessageEvent
-from repro.errors import ParameterError, ProtocolFailure
+from repro.errors import MalformedIBLTError, ParameterError, ProtocolFailure
 
 
 logger = logging.getLogger(__name__)
@@ -79,6 +99,8 @@ logger = logging.getLogger(__name__)
 RECEIVER_STEPS = {
     "graphene_block": "on_p1_payload",
     "graphene_p2_response": "on_p2_response",
+    "graphene_p3_block": "on_p3_payload",
+    "graphene_p3_symbols": "on_p3_symbols",
     "block_txs": "on_tx_list",
 }
 
@@ -86,8 +108,13 @@ RECEIVER_STEPS = {
 SENDER_STEPS = {
     "getdata": "on_getdata",
     "graphene_p2_request": "on_p2_request",
+    "graphene_p3_request": "on_p3_request",
     "getdata_shortids": "on_shortid_request",
 }
+
+#: Marker byte appended to the getdata payload when the receiver wants
+#: the rateless exchange; a bare 4-byte getdata means Protocol 1.
+P3_GETDATA_MARKER = 3
 
 
 class ReceiverPhase(enum.Enum):
@@ -96,6 +123,8 @@ class ReceiverPhase(enum.Enum):
     IDLE = "idle"
     WAIT_P1 = "wait_p1"
     WAIT_P2 = "wait_p2"
+    WAIT_P3 = "wait_p3"
+    WAIT_P3_SYMBOLS = "wait_p3_symbols"
     WAIT_TXS = "wait_txs"
     DONE = "done"
     FAILED = "failed"
@@ -105,6 +134,8 @@ class ReceiverPhase(enum.Enum):
 _AWAITED_BY_PHASE = {
     ReceiverPhase.WAIT_P1: "graphene_block",
     ReceiverPhase.WAIT_P2: "graphene_p2_response",
+    ReceiverPhase.WAIT_P3: "graphene_p3_block",
+    ReceiverPhase.WAIT_P3_SYMBOLS: "graphene_p3_symbols",
     ReceiverPhase.WAIT_TXS: "block_txs",
 }
 
@@ -157,6 +188,13 @@ def _p2_response_parts(response) -> dict:
                        - response.bloom_f_bytes - response.txs_bytes)}
 
 
+def _p3_parts(payload) -> dict:
+    return {"bloom_s": payload.bloom_bytes,
+            "riblt": payload.riblt_bytes,
+            "counts": (payload.wire_size() - payload.bloom_bytes
+                       - payload.riblt_bytes)}
+
+
 class GrapheneSenderEngine:
     """Serves one block (or a whole mempool) to any number of peers.
 
@@ -191,6 +229,11 @@ class GrapheneSenderEngine:
         #: a sender fans the same block out to many peers whose counts
         #: repeat.  Bounded; oldest half evicted at the cap.
         self._p1_cache: dict = {}
+        #: Protocol 3 twins: served openings keyed by m, plus the one
+        #: shared symbol stream -- it depends only on (txs, seed), so
+        #: every peer and every continuation reads the same prefix.
+        self._p3_cache: dict = {}
+        self._p3_encoder = None
 
     def _emit(self, command: str, message: bytes, phase: str,
               roundtrip: int, parts: dict) -> EngineAction:
@@ -204,10 +247,16 @@ class GrapheneSenderEngine:
     P1_CACHE_CAP = 64
 
     def on_getdata(self, message: bytes) -> EngineAction:
-        """Handle a getdata carrying the receiver's mempool count."""
+        """Handle a getdata carrying the receiver's mempool count.
+
+        A fifth byte equal to :data:`P3_GETDATA_MARKER` selects the
+        rateless exchange; the bare 4-byte form is Protocol 1.
+        """
         if len(message) < 4:
             raise ParameterError("getdata too short")
         (m,) = struct.unpack_from("<I", message, 0)
+        if len(message) >= 5 and message[4] == P3_GETDATA_MARKER:
+            return self._serve_p3_opening(m)
         cached = self._p1_cache.get(m)
         if cached is None:
             payload = build_protocol1(
@@ -222,6 +271,51 @@ class GrapheneSenderEngine:
             cached = self._p1_cache[m] = (blob, _p1_parts(payload))
         blob, parts = cached
         return self._emit("graphene_block", blob, "p1", 1, dict(parts))
+
+    def _symbol_stream(self):
+        """The sender's one shared rateless symbol stream, built lazily."""
+        if self._p3_encoder is None:
+            self._p3_encoder = make_encoder(self.txs, self.config)
+        return self._p3_encoder
+
+    def _serve_p3_opening(self, m: int) -> EngineAction:
+        """Serve the Protocol 3 opening: S plus the first symbol batch."""
+        cached = self._p3_cache.get(m)
+        if cached is None:
+            payload, _ = build_protocol3(
+                self.txs, m, self.config,
+                auto_prefill_coinbase=not self.mempool_mode,
+                encoder=self._symbol_stream())
+            blob = encode_protocol3_payload(payload)
+            if not self.mempool_mode:
+                blob = self.block.header.serialize() + blob
+            if len(self._p3_cache) >= self.P1_CACHE_CAP:
+                for stale in list(self._p3_cache)[:self.P1_CACHE_CAP // 2]:
+                    del self._p3_cache[stale]
+            cached = self._p3_cache[m] = (blob, _p3_parts(payload))
+        blob, parts = cached
+        return self._emit("graphene_p3_block", blob, "p3", 1, dict(parts))
+
+    def on_p3_request(self, message: bytes) -> EngineAction:
+        """Serve a continuation window of coded symbols.
+
+        The stream is a pure function of the block, so any window can
+        be served to any peer at any time -- including verbatim
+        retransmissions after a receiver-side timeout.
+        """
+        from repro.core.protocol3 import SymbolBatch, sender_stream_cap
+
+        start, count, _ = decode_protocol3_request(message)
+        stream = self._symbol_stream()
+        if start + count > sender_stream_cap(stream.key_count):
+            raise ParameterError(
+                f"symbol window [{start}, {start + count}) beyond the "
+                f"serving cap for {stream.key_count} keys")
+        counts, key_sums, check_sums = stream.window(start, count)
+        batch = SymbolBatch(start=start, counts=counts, key_sums=key_sums,
+                            check_sums=check_sums)
+        return self._emit("graphene_p3_symbols", encode_symbol_batch(batch),
+                          "p3", 2, {"riblt": batch.wire_size()})
 
     def on_p2_request(self, message: bytes) -> EngineAction:
         """Handle a Protocol 2 request (R, y*, b)."""
@@ -283,6 +377,10 @@ class GrapheneReceiverEngine:
             raise ParameterError(f"unknown engine mode {mode!r}")
         self.mempool = mempool
         self.config = config or GrapheneConfig()
+        if self.config.protocol not in (1, 3):
+            raise ParameterError(
+                f"unknown protocol {self.config.protocol}; expected 1 "
+                "(classic, P2 fallback) or 3 (rateless)")
         self.mode = mode
         self.telemetry = telemetry if telemetry is not None \
             else EventRecorder()
@@ -291,6 +389,7 @@ class GrapheneReceiverEngine:
         self.phase = ReceiverPhase.IDLE
         self.header: Optional[BlockHeader] = None
         self._p2_state: Optional[Protocol2ReceiverState] = None
+        self._p3_state: Optional[Protocol3ReceiverState] = None
         #: Last outbound request, kept so a recovery driver can re-emit
         #: it verbatim after a timeout (see :meth:`reemit_last_request`).
         self._last_send: Optional[EngineAction] = None
@@ -309,6 +408,8 @@ class GrapheneReceiverEngine:
         self.p2_decode_complete = False
         self.fetched_count = 0
         self.missing_short_ids: frozenset = frozenset()
+        #: Coded symbols streamed so far (Protocol 3 exchanges only).
+        self.p3_symbols = 0
 
     # ------------------------------------------------------------------
 
@@ -323,20 +424,33 @@ class GrapheneReceiverEngine:
         return event
 
     def start(self) -> EngineAction:
-        """Begin: emit the getdata with our mempool count."""
+        """Begin: emit the getdata with our mempool count.
+
+        ``config.protocol == 3`` opens the rateless exchange instead:
+        the same getdata command (so inv routing, recovery and peer
+        plumbing are untouched) with the marker byte appended.
+        """
         if self.phase is not ReceiverPhase.IDLE:
             raise ProtocolFailure(f"cannot start from phase {self.phase}")
-        self.phase = ReceiverPhase.WAIT_P1
+        rateless = self.config.protocol == 3
+        self.phase = ReceiverPhase.WAIT_P3 if rateless \
+            else ReceiverPhase.WAIT_P1
         self.roundtrips = 1.5
         m = len(self.mempool)
         if self.mode == "block":
             # The inv that triggered this exchange, so the stream covers
             # the whole relay the way the paper's accounting does.
             self._record("inv", "received", "inv", 0, {"inv": inv_bytes()})
-        message = struct.pack("<I", m)
+        if rateless:
+            self.protocol_used = 3
+            message = struct.pack("<IB", m, P3_GETDATA_MARKER)
+            phase, extra = "p3", 1  # +1 for the marker byte
+        else:
+            message = struct.pack("<I", m)
+            phase, extra = "p1", 0
         self.bytes_sent += len(message)
-        event = self._record("getdata", "sent", "p1", 1,
-                             {"getdata": getdata_bytes(m)})
+        event = self._record("getdata", "sent", phase, 1,
+                             {"getdata": getdata_bytes(m) + extra})
         action = EngineAction(ActionKind.SEND, "getdata", message,
                               event=event)
         self._last_send = action
@@ -455,6 +569,106 @@ class GrapheneReceiverEngine:
             return self._request_short_ids(result.missing_short_ids)
         self._record("graphene_p2_response", "received", "p2", 2,
                      parts, outcome="failed")
+        return self._fail()
+
+    # ------------------------------------------------------------------
+    # Protocol 3: the rateless symbol stream
+    # ------------------------------------------------------------------
+
+    def on_p3_payload(self, message: bytes) -> EngineAction:
+        """Process [header +] S + first symbols; decode or ask for more."""
+        if self.phase is not ReceiverPhase.WAIT_P3:
+            raise ProtocolFailure(f"unexpected P3 payload in {self.phase}")
+        self.bytes_received += len(message)
+        offset = 0
+        if self.mode == "block":
+            self.header = decode_block_header(message)
+            offset = 80
+        payload, _ = decode_protocol3_payload(message, offset)
+        parts = _p3_parts(payload)
+        try:
+            self._p3_state = begin_protocol3(payload, self.mempool,
+                                             self.config)
+        except MalformedIBLTError:
+            self._record("graphene_p3_block", "received", "p3", 1, parts,
+                         outcome="failed")
+            return self._fail()
+        self.p3_symbols = self._p3_state.symbols
+        if self._p3_state.decoder.complete:
+            return self._finish_p3("graphene_p3_block", parts, 1)
+        self._record("graphene_p3_block", "received", "p3", 1, parts,
+                     outcome="continue")
+        return self._request_more_symbols()
+
+    def on_p3_symbols(self, message: bytes) -> EngineAction:
+        """Process a continuation batch; decode, ask again, or give up."""
+        if self.phase is not ReceiverPhase.WAIT_P3_SYMBOLS:
+            raise ProtocolFailure(f"unexpected P3 symbols in {self.phase}")
+        self.bytes_received += len(message)
+        batch, _ = decode_symbol_batch(message)
+        parts = {"riblt": batch.wire_size()}
+        roundtrip = int(self.roundtrips)
+        state = self._p3_state
+        try:
+            complete = ingest_symbols(state, batch)
+        except MalformedIBLTError:
+            # A key peeled twice: the stream is malformed (replayed or
+            # corrupted).  Fail cleanly; the recovery ladder treats it
+            # like any other dead exchange.
+            self._record("graphene_p3_symbols", "received", "p3",
+                         roundtrip, parts, outcome="failed")
+            return self._fail()
+        self.p3_symbols = state.symbols
+        if complete:
+            return self._finish_p3("graphene_p3_symbols", parts, roundtrip)
+        if state.symbols >= state.cap:
+            # The stream has run far past any honest decode point.
+            self._record("graphene_p3_symbols", "received", "p3",
+                         roundtrip, parts, outcome="failed")
+            return self._fail()
+        self._record("graphene_p3_symbols", "received", "p3", roundtrip,
+                     parts, outcome="continue")
+        return self._request_more_symbols()
+
+    def _request_more_symbols(self) -> EngineAction:
+        state = self._p3_state
+        start = state.symbols
+        count = min(next_batch_size(start), state.cap - start, 0xFFFF)
+        self.phase = ReceiverPhase.WAIT_P3_SYMBOLS
+        self.roundtrips += 1.0
+        message = encode_protocol3_request(start, count)
+        self.bytes_sent += len(message)
+        event = self._record("graphene_p3_request", "sent", "p3",
+                             int(self.roundtrips),
+                             {"getdata": p3_request_bytes()})
+        action = EngineAction(ActionKind.SEND, "graphene_p3_request",
+                              message, event=event)
+        self._last_send = action
+        return action
+
+    def _finish_p3(self, command: str, parts: dict,
+                   roundtrip: int) -> EngineAction:
+        """Turn a complete rateless decode into DONE / fetch / FAILED."""
+        result = finish_protocol3(self._p3_state, self.config,
+                                  validate_block=self._probe())
+        if not result.decode_complete:
+            # The peel zeroed out but the arithmetic does not reconcile
+            # with n -- a malformed (e.g. replayed) stream.
+            self._record(command, "received", "p3", roundtrip, parts,
+                         outcome="failed")
+            return self._fail()
+        if result.missing_short_ids:
+            self._record(command, "received", "p3", roundtrip, parts,
+                         outcome="fetch")
+            self.reconciled = {tx.txid: tx for tx in result.reconciled}
+            return self._request_short_ids(result.missing_short_ids)
+        if result.success:
+            self._record(command, "received", "p3", roundtrip, parts,
+                         outcome="decoded")
+            self.reconciled = {tx.txid: tx for tx in result.reconciled}
+            return self._complete(result.txs)
+        self._record(command, "received", "p3", roundtrip, parts,
+                     outcome="failed")
         return self._fail()
 
     def on_tx_list(self, message: bytes) -> EngineAction:

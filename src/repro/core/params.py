@@ -54,6 +54,11 @@ class GrapheneConfig:
     special_case_fpr:
         The fixed ``f_R`` used in the ``m ~ n`` special case (paper
         3.3.2 sets 0.1 and reports 0.001-0.2 all work).
+    protocol:
+        Which Graphene exchange the engines run: 1 is the classic
+        Protocol 1 with Protocol 2 fallback; 3 is the rateless-IBLT
+        stream (:mod:`repro.core.protocol3`), which needs no
+        difference estimate and has no fallback branch.
     """
 
     beta: float = BETA_DEFAULT
@@ -62,6 +67,7 @@ class GrapheneConfig:
     short_id_bytes: int = 8
     special_case_fpr: float = 0.1
     seed: int = 0
+    protocol: int = 1
 
     def table(self) -> IBLTParamTable:
         return default_param_table(self.decode_denom)

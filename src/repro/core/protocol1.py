@@ -174,6 +174,17 @@ def receive_protocol1(payload: Protocol1Payload, mempool: Mempool,
     remote = decode.remote
     surviving = [tx for tx, sid in zip(cand_txs, cand_sids)
                  if sid not in remote]
+    # Consistency: |block| must equal surviving candidates plus the
+    # missing transactions the decode claims.  An IBLT that is all-zero
+    # after the subtract (e.g. a replay of the receiver's own I') peels
+    # "complete" with an empty difference; when the expected difference
+    # is nonempty that is a silently wrong set, so report a decode
+    # failure instead.  (Short-id collisions can also trip this; they
+    # break Protocol 1 regardless, and in block mode the Merkle check
+    # is the backstop.)
+    if payload.n != len(surviving) + len(decode.local):
+        result.decode_complete = False
+        return result
     result.reconciled = surviving
     if decode.local:
         result.missing_short_ids = decode.local

@@ -1,0 +1,312 @@
+"""Graphene Protocol 3: rateless IBLT reconciliation, no size estimate.
+
+Protocols 1 and 2 stake the exchange on a difference estimate: the
+IBLT is provisioned for ``a*`` (or ``b + y*``) items up front, and a
+wrong estimate means a failed decode and a fallback round.  Protocol 3
+replaces the fixed IBLT with a :mod:`rateless <repro.pds.riblt>`
+coded-symbol stream (Yang et al., PAPERS.md): the sender still sends
+Bloom filter S (sized by the same Eq. 3 optimization -- false
+positives cost symbols just as they cost IBLT cells), but instead of
+an IBLT it streams coded symbols until the receiver's peeling decoder
+terminates.  There is no estimate to get wrong and therefore no
+decode-failure fallback branch: an undecoded stream simply asks for
+more symbols.
+
+Message flow::
+
+    receiver                                sender
+      getdata(m, proto=3)          ---->      opening: n + prefilled
+                                                + S + first batch
+      [peel...]  not decoded yet
+      p3_request(start, count)     ---->      symbols [start, start+count)
+      [peel...]  decoded
+      getdata_shortids(missing)    ---->      block_txs   (if any missing)
+
+The first batch is provisioned like Protocol 1's IBLT -- ``~1.35 a*``
+symbols for the Theorem-1 bound ``a*`` on Bloom false positives -- so
+the no-missing-transactions case usually decodes in a single round
+trip, byte-competitive with Protocol 1.  Follow-up batches grow
+geometrically, bounding the worst case at a constant factor of the
+true difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chain.block import Block
+from repro.chain.mempool import Mempool
+from repro.core.params import FilterIBLTPlan, GrapheneConfig, optimize_a
+from repro.errors import ParameterError
+from repro.pds.bloom import BloomFilter
+from repro.pds.riblt import RIBLTDecoder, RIBLTEncoder, symbol_stream_bytes
+from repro.utils.serialization import compact_size_len
+
+#: Seed offset keeping the symbol stream's hash family independent of
+#: the S/I/J families (see protocol1.SEED_S et al.).
+SEED_R = 0x3137
+
+#: Symbols provisioned per expected difference item: the rateless
+#: decode threshold is ~1.35d for large d (Yang et al. section 3).
+OVERHEAD = 1.35
+
+#: Floor on any batch -- tiny batches waste round trips on headers.
+MIN_BATCH = 4
+
+#: Each continuation batch grows the stream by this factor, bounding
+#: total symbols at ~1.5x the count the decode actually needed.
+GROWTH = 0.5
+
+#: Hard ceiling on the stream, as a multiple of the union bound
+#: ``n + z``: an honest exchange decodes within ~2(n + z) symbols even
+#: with nothing shared, so a stream this long is malformed.
+STREAM_CAP_FACTOR = 8
+
+
+def sender_stream_cap(key_count: int) -> int:
+    """How far a sender will extend its stream for one block.
+
+    An honest receiver's candidate set Z is the Bloom-filtered mempool
+    (roughly ``n`` plus a handful of false positives), so its
+    :data:`STREAM_CAP_FACTOR`-bounded stream stays well under this; a
+    hostile ``start`` near u32-max must not balloon the sender's
+    columnar prefix, so out-of-cap windows are refused.
+    """
+    return max(1 << 16, 32 * key_count)
+
+
+def first_batch_size(recover: int) -> int:
+    """Symbols in the opening payload, from the Theorem-1 FP bound."""
+    return max(MIN_BATCH, math.ceil(OVERHEAD * max(1, recover)))
+
+
+def next_batch_size(streamed: int) -> int:
+    """Symbols to request after ``streamed`` symbols did not decode."""
+    return max(MIN_BATCH, math.ceil(streamed * GROWTH))
+
+
+@dataclass(frozen=True)
+class SymbolBatch:
+    """A contiguous window ``[start, start + len)`` of coded symbols."""
+
+    start: int
+    counts: Sequence[int]
+    key_sums: Sequence[int]
+    check_sums: Sequence[int]
+
+    def __post_init__(self):
+        if not (len(self.counts) == len(self.key_sums)
+                == len(self.check_sums)):
+            raise ParameterError("symbol batch columns disagree in length")
+        if self.start < 0:
+            raise ParameterError(f"batch start must be >= 0: {self.start}")
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def wire_size(self) -> int:
+        return symbol_stream_bytes(len(self.counts))
+
+
+@dataclass(frozen=True)
+class Protocol3Payload:
+    """Opening message: counts, prefilled txns, Bloom S, first symbols."""
+
+    n: int
+    bloom_s: BloomFilter
+    symbols: SymbolBatch
+    recover: int  # a*, what the first batch was provisioned against
+    plan: FilterIBLTPlan
+    prefilled: tuple = ()
+
+    def wire_size(self) -> int:
+        return (self.bloom_s.serialized_size() + self.symbols.wire_size()
+                + compact_size_len(self.n) + compact_size_len(self.recover)
+                + compact_size_len(len(self.prefilled))
+                + sum(tx.size for tx in self.prefilled))
+
+    @property
+    def bloom_bytes(self) -> int:
+        return self.bloom_s.serialized_size()
+
+    @property
+    def riblt_bytes(self) -> int:
+        return self.symbols.wire_size()
+
+
+@dataclass
+class Protocol3ReceiverState:
+    """Receiver-side state across the symbol-stream round trips."""
+
+    decoder: RIBLTDecoder
+    candidates: dict                 # txid -> Transaction (set Z)
+    cand_txs: list
+    cand_sids: list
+    n: int
+    cap: int                         # hard bound on total symbols
+
+    @property
+    def symbols(self) -> int:
+        return self.decoder.size
+
+
+@dataclass
+class Protocol3Result:
+    """Outcome of finishing a decoded Protocol 3 exchange."""
+
+    success: bool
+    txs: Optional[list] = None
+    decode_complete: bool = False
+    merkle_ok: bool = False
+    missing_short_ids: frozenset = frozenset()
+    #: Candidates surviving false-positive removal.
+    reconciled: list = field(default_factory=list)
+
+
+def make_encoder(txs, config: GrapheneConfig) -> RIBLTEncoder:
+    """The sender's symbol stream over a transaction list's short IDs.
+
+    A pure function of ``(txs, config)``: any window of the stream can
+    be re-served byte-identically to any peer at any time.
+    """
+    width = config.short_id_bytes
+    return RIBLTEncoder((tx.short_id(width) for tx in txs),
+                        seed=config.seed ^ SEED_R)
+
+
+def build_protocol3(txs, receiver_mempool_count: int,
+                    config: Optional[GrapheneConfig] = None,
+                    plan: Optional[FilterIBLTPlan] = None,
+                    prefill=None, auto_prefill_coinbase: bool = True,
+                    encoder: Optional[RIBLTEncoder] = None,
+                    ) -> tuple[Protocol3Payload, RIBLTEncoder]:
+    """Sender side: Bloom S plus the opening symbol batch.
+
+    S reuses Protocol 1's discrete S+I optimization -- a false positive
+    costs ~``OVERHEAD`` symbols just as it costs IBLT cells, so the
+    same trade-off point applies.  ``encoder`` lets a serving engine
+    share one symbol stream across peers and continuation requests.
+    """
+    config = config or GrapheneConfig()
+    n = len(txs)
+    prefilled = list(prefill) if prefill is not None else []
+    if auto_prefill_coinbase:
+        chosen = {tx.txid for tx in prefilled}
+        prefilled.extend(tx for tx in txs
+                         if tx.is_coinbase and tx.txid not in chosen)
+    if plan is None:
+        plan = optimize_a(n, receiver_mempool_count, config)
+    from repro.core.protocol1 import SEED_S
+    bloom = BloomFilter.from_fpr(n, plan.fpr, seed=config.seed ^ SEED_S)
+    bloom.update(tx.txid for tx in txs)
+    if encoder is None:
+        encoder = make_encoder(txs, config)
+    count = first_batch_size(plan.recover)
+    counts, key_sums, check_sums = encoder.window(0, count)
+    batch = SymbolBatch(start=0, counts=counts, key_sums=key_sums,
+                        check_sums=check_sums)
+    payload = Protocol3Payload(n=n, bloom_s=bloom, symbols=batch,
+                               recover=plan.recover, plan=plan,
+                               prefilled=tuple(prefilled))
+    return payload, encoder
+
+
+def begin_protocol3(payload: Protocol3Payload, mempool: Mempool,
+                    config: Optional[GrapheneConfig] = None,
+                    ) -> Protocol3ReceiverState:
+    """Receiver side: form Z through S, then ingest the first batch.
+
+    Identical candidate-set construction to Protocol 1; the decoder is
+    seeded with the candidates' short IDs and fed the opening symbols.
+    May raise :class:`~repro.errors.MalformedIBLTError` if the opening
+    batch itself peels inconsistently.
+    """
+    config = config or GrapheneConfig()
+    if payload.n < 0:
+        raise ParameterError(f"payload.n must be non-negative: {payload.n}")
+    candidates: dict = {}
+    for tx in payload.prefilled:
+        if tx.txid not in candidates:
+            candidates[tx.txid] = tx
+    pool = [tx for tx in mempool if tx.txid not in candidates]
+    for tx, hit in zip(pool, payload.bloom_s.contains_many(
+            [tx.txid for tx in pool])):
+        if hit:
+            candidates[tx.txid] = tx
+    width = config.short_id_bytes
+    cand_txs = list(candidates.values())
+    cand_sids = [tx.short_id(width) for tx in cand_txs]
+    decoder = RIBLTDecoder(cand_sids, seed=config.seed ^ SEED_R)
+    cap = STREAM_CAP_FACTOR * max(16, payload.n + len(cand_txs))
+    state = Protocol3ReceiverState(decoder=decoder, candidates=candidates,
+                                   cand_txs=cand_txs, cand_sids=cand_sids,
+                                   n=payload.n, cap=cap)
+    ingest_symbols(state, payload.symbols)
+    return state
+
+
+def ingest_symbols(state: Protocol3ReceiverState,
+                   batch: SymbolBatch) -> bool:
+    """Feed one wire batch to the decoder; returns decode completion.
+
+    The stream is strictly sequential: a batch whose ``start`` is not
+    the next expected symbol is a framing violation (retransmissions
+    re-serve the identical window, so an honest sender never
+    desynchronizes).
+    """
+    if batch.start != state.decoder.size:
+        raise ParameterError(
+            f"symbol batch starts at {batch.start}, expected "
+            f"{state.decoder.size}")
+    if batch.start + len(batch) > state.cap:
+        raise ParameterError(
+            f"symbol stream exceeds cap of {state.cap} symbols")
+    return state.decoder.add_symbols(batch.counts, batch.key_sums,
+                                     batch.check_sums)
+
+
+def finish_protocol3(state: Protocol3ReceiverState,
+                     config: Optional[GrapheneConfig] = None,
+                     validate_block: Optional[Block] = None,
+                     ) -> Protocol3Result:
+    """Turn a complete decode into the reconciled transaction set.
+
+    ``decoder.local`` holds short IDs only the sender has (missing
+    transactions, fetched afterwards); ``decoder.remote`` holds Bloom
+    false positives to strip from Z.  A decode whose arithmetic does
+    not reconcile with the announced block size ``n`` is reported as
+    ``decode_complete=False`` -- the stream was malformed (e.g. an
+    all-zero replay of the receiver's own symbols) and the caller
+    should fail cleanly rather than accept a silently wrong set.
+    """
+    decoder = state.decoder
+    result = Protocol3Result(success=False,
+                             decode_complete=decoder.complete)
+    if not decoder.complete:
+        return result
+    remote = decoder.remote
+    surviving = [tx for tx, sid in zip(state.cand_txs, state.cand_sids)
+                 if sid not in remote]
+    # Consistency: |block| must equal surviving candidates plus the
+    # missing transactions the decode claims.  (Short-id collisions
+    # can break this; they also break Protocol 1, and the Merkle check
+    # is the backstop in block mode.)
+    if state.n != len(surviving) + len(decoder.local):
+        result.decode_complete = False
+        return result
+    result.reconciled = surviving
+    if decoder.local:
+        result.missing_short_ids = frozenset(decoder.local)
+        return result
+    if validate_block is not None:
+        ordered = validate_block.validated_order(surviving)
+        if ordered is None:
+            return result
+        result.merkle_ok = True
+        result.txs = ordered
+    else:
+        result.txs = sorted(surviving, key=lambda tx: tx.txid)
+    result.success = True
+    return result

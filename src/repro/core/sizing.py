@@ -38,6 +38,11 @@ def short_id_request_bytes(count: int, id_bytes: int = 8) -> int:
     return MSG_HEADER_BYTES + compact_size_len(count) + id_bytes * count
 
 
+def p3_request_bytes() -> int:
+    """A Protocol 3 symbol continuation request: start u32 + count u16."""
+    return MSG_HEADER_BYTES + 6
+
+
 @dataclass
 class CostBreakdown:
     """Bytes transferred during one relay, split by message part.
@@ -56,6 +61,7 @@ class CostBreakdown:
     bloom_r: int = 0
     iblt_j: int = 0
     bloom_f: int = 0
+    riblt: int = 0   # Protocol 3 coded-symbol stream (batches + headers)
     extra_getdata: int = 0
     ordering: int = 0
     pushed_tx_bytes: int = 0   # T, Protocol 2 step 3
@@ -64,15 +70,16 @@ class CostBreakdown:
     def total(self, include_txs: bool = False) -> int:
         base = (self.inv + self.getdata + self.bloom_s + self.iblt_i
                 + self.counts + self.bloom_r + self.iblt_j + self.bloom_f
-                + self.extra_getdata + self.ordering)
+                + self.riblt + self.extra_getdata + self.ordering)
         if include_txs:
             base += self.pushed_tx_bytes + self.fetched_tx_bytes
         return base
 
     def graphene_core(self) -> int:
-        """Just the probabilistic structures: S + I + R + J + F."""
+        """Just the probabilistic structures: S + I + R + J + F (+ the
+        Protocol 3 symbol stream, which plays I's role)."""
         return (self.bloom_s + self.iblt_i + self.bloom_r + self.iblt_j
-                + self.bloom_f)
+                + self.bloom_f + self.riblt)
 
     def merge(self, other: "CostBreakdown") -> "CostBreakdown":
         """Element-wise sum (for aggregating over many relays)."""

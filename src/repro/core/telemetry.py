@@ -33,17 +33,19 @@ DIRECTIONS = ("sent", "received")
 ROLES = ("receiver", "sender")
 
 #: Protocol phases in exchange order (``inv`` and ``push`` bracket the
-#: numbered-protocol phases; ``push`` only occurs in mempool sync).
-PHASES = ("inv", "p1", "p2", "fetch", "push")
+#: numbered-protocol phases; ``push`` only occurs in mempool sync and
+#: ``p3`` only in rateless exchanges, which replace ``p1``/``p2``).
+PHASES = ("inv", "p1", "p2", "p3", "fetch", "push")
 
 #: Outcomes an event may resolve with.  "" marks a plain transfer; the
-#: decode outcomes ("decoded", "fallback", "fetch", "done", "failed")
+#: decode outcomes ("decoded", "fallback", "fetch", "done", "failed",
+#: plus "continue" for a Protocol 3 batch that needs more symbols)
 #: are set by the engines on phase-resolving messages; "timeout" (the
 #: awaited response never arrived, zero bytes) and "retry" (the request
 #: was retransmitted and its bytes charged again) come from the relay
 #: recovery subsystem (:mod:`repro.net.recovery`).
-OUTCOMES = ("", "decoded", "fallback", "fetch", "done", "failed",
-            "timeout", "retry")
+OUTCOMES = ("", "decoded", "fallback", "fetch", "continue", "done",
+            "failed", "timeout", "retry")
 
 
 @dataclass(frozen=True, slots=True)

@@ -41,6 +41,8 @@ from repro.codec import (
     decode_protocol1_payload,
     decode_protocol2_request,
     decode_protocol2_response,
+    decode_protocol3_payload,
+    decode_symbol_batch,
     decode_transaction,
     decode_tx_list,
     encode_bloom,
@@ -48,6 +50,8 @@ from repro.codec import (
     encode_protocol1_payload,
     encode_protocol2_request,
     encode_protocol2_response,
+    encode_protocol3_payload,
+    encode_symbol_batch,
     encode_transaction,
     encode_tx_list,
     restore_bloom_load,
@@ -66,7 +70,8 @@ from repro.net.peer.framing import (
 
 _DECODERS = (decode_bloom, decode_iblt, decode_transaction, decode_tx_list,
              decode_protocol1_payload, decode_protocol2_request,
-             decode_protocol2_response)
+             decode_protocol2_response, decode_protocol3_payload,
+             decode_symbol_batch)
 
 
 @dataclass
@@ -126,13 +131,15 @@ def numpy_disabled():
     """Force the pure-python fallback of the PDS batch entry points."""
     import repro.pds.bloom as bloom_mod
     import repro.pds.iblt as iblt_mod
-    saved = bloom_mod._np, iblt_mod._np
+    import repro.pds.riblt as riblt_mod
+    saved = bloom_mod._np, iblt_mod._np, riblt_mod._np
     bloom_mod._np = None
     iblt_mod._np = None
+    riblt_mod._np = None
     try:
         yield
     finally:
-        bloom_mod._np, iblt_mod._np = saved
+        bloom_mod._np, iblt_mod._np, riblt_mod._np = saved
 
 
 # ---------------------------------------------------------------------------
@@ -149,9 +156,9 @@ class CodecEngine(Engine):
                      "payload_max": 0}
 
     _KINDS = ("bloom", "bloom", "iblt", "iblt", "transaction", "tx_list",
-              "p1", "p1", "p2", "p2", "mutation", "mutation", "mutation",
-              "frame", "frame")
-    _MUTATION_BASES = ("bloom", "iblt", "transaction", "p1",
+              "p1", "p1", "p2", "p2", "p3", "p3_stream",
+              "mutation", "mutation", "mutation", "frame", "frame")
+    _MUTATION_BASES = ("bloom", "iblt", "transaction", "p1", "p3",
                        "p2_request", "p2_response")
     #: Frame-level corruption modes ("split" is the invariance check;
     #: the rest must raise FrameError, never mis-parse or stall).
@@ -159,8 +166,12 @@ class CodecEngine(Engine):
                     "bad_checksum", "midframe_eof")
     _FRAME_COMMANDS = ("version", "verack", "inv", "getdata",
                        "graphene_block", "graphene_p2_request",
-                       "graphene_p2_response", "getdata_shortids",
-                       "block_txs", "getdata_block", "block")
+                       "graphene_p2_response", "graphene_p3_block",
+                       "graphene_p3_request", "graphene_p3_symbols",
+                       "getdata_shortids", "block_txs", "getdata_block",
+                       "block")
+    #: Symbol-stream corruption modes for ``p3_stream`` cases.
+    _P3_STREAM_MODES = ("truncate_boundary", "bad_header", "midstream_eof")
 
     def draw(self, rng: random.Random) -> dict:
         kind = rng.choice(self._KINDS)
@@ -186,6 +197,16 @@ class CodecEngine(Engine):
             params.update(n=rng.randint(60, 250),
                           extra=rng.randint(20, 250),
                           fraction=round(rng.uniform(0.55, 0.95), 2))
+        elif kind == "p3":
+            params.update(n=rng.randint(20, 250),
+                          extra=rng.choice([0, rng.randint(0, 250)]),
+                          fraction=rng.choice([1.0, 0.9, 0.7, 0.5]))
+        elif kind == "p3_stream":
+            params.update(n=rng.randint(40, 160),
+                          extra=rng.randint(20, 160),
+                          fraction=round(rng.uniform(0.5, 0.9), 2),
+                          mode=rng.choice(self._P3_STREAM_MODES),
+                          cut_seed=rng.getrandbits(16))
         elif kind == "frame":
             params.update(n_frames=rng.randint(1, 6),
                           payload_max=rng.randint(0, 300),
@@ -418,6 +439,167 @@ class CodecEngine(Engine):
                              params)
         return None
 
+    def _check_p3(self, params) -> Optional[FuzzFailure]:
+        from repro.core.params import GrapheneConfig
+        from repro.core.protocol3 import (
+            SymbolBatch,
+            begin_protocol3,
+            ingest_symbols,
+            next_batch_size,
+        )
+        from repro.errors import MalformedIBLTError, ParameterError
+
+        payload, encoder, sc = gen.make_p3(params)
+        blob = encode_protocol3_payload(payload)
+        decoded, offset = decode_protocol3_payload(blob)
+        if offset != len(blob):
+            return self.fail("p3-offset", f"{offset} != {len(blob)}", params)
+        if encode_protocol3_payload(decoded) != blob:
+            return self.fail("p3-fixed-point",
+                             "encode(decode(encode)) differs", params)
+        if (decoded.n, decoded.recover) != (payload.n, payload.recover):
+            return self.fail("p3-counts", "n/recover drift", params)
+        if tuple(decoded.prefilled) != tuple(payload.prefilled):
+            return self.fail("p3-prefilled", "prefilled txns drift", params)
+        failure = self._bloom_parity("p3-bloom-s", payload.bloom_s,
+                                     decoded.bloom_s, params)
+        if failure is not None:
+            return failure
+        for col in ("counts", "key_sums", "check_sums"):
+            if list(getattr(decoded.symbols, col)) \
+                    != list(getattr(payload.symbols, col)):
+                return self.fail("p3-symbols",
+                                 f"opening batch column {col} drifts on "
+                                 "the wire", params)
+        # Receiver parity: ingesting the wire-decoded opening must leave
+        # the decoder in exactly the loopback state.
+        config = GrapheneConfig()
+
+        def begin(opening):
+            try:
+                state = begin_protocol3(opening, sc.receiver_mempool, config)
+            except MalformedIBLTError:
+                return ("malformed", None, None), None
+            return ("ok", state.decoder.complete,
+                    len(state.candidates)), state
+
+        mine, state = begin(payload)
+        theirs, wire_state = begin(decoded)
+        if mine != theirs:
+            return self.fail("p3-receiver-parity",
+                             f"loopback {mine} vs wire {theirs}", params)
+        if state is not None and not state.decoder.complete:
+            # One continuation round, exactly as the engines serve it.
+            start = state.symbols
+            count = min(next_batch_size(start), state.cap - start)
+            counts, key_sums, check_sums = encoder.window(start, count)
+            batch = SymbolBatch(start=start, counts=counts,
+                                key_sums=key_sums, check_sums=check_sums)
+            batch_blob = encode_symbol_batch(batch)
+            wire_batch, batch_off = decode_symbol_batch(batch_blob)
+            if batch_off != len(batch_blob):
+                return self.fail("p3-batch-offset",
+                                 f"{batch_off} != {len(batch_blob)}", params)
+            if encode_symbol_batch(wire_batch) != batch_blob:
+                return self.fail("p3-batch-fixed-point",
+                                 "encode(decode(encode)) differs", params)
+            if ingest_symbols(state, batch) \
+                    != ingest_symbols(wire_state, wire_batch):
+                return self.fail("p3-ingest-parity",
+                                 "wire-decoded batch decodes differently",
+                                 params)
+        if state is not None:
+            # The stream is strictly sequential: a desynchronized start
+            # is a framing violation, never a silent resync.
+            counts, key_sums, check_sums = encoder.window(
+                state.symbols + 1, 4)
+            shifted = SymbolBatch(start=state.symbols + 1, counts=counts,
+                                  key_sums=key_sums, check_sums=check_sums)
+            try:
+                ingest_symbols(state, shifted)
+            except ParameterError:
+                pass
+            else:
+                return self.fail("p3-desync-accepted",
+                                 "batch starting past the stream head "
+                                 "ingested without error", params)
+        return None
+
+    def _check_p3_stream(self, params) -> Optional[FuzzFailure]:
+        import struct as _struct
+
+        from repro.core.protocol3 import SymbolBatch, next_batch_size
+        from repro.pds.riblt import SYMBOL_BYTES
+
+        payload, encoder, _ = gen.make_p3(params)
+        # A plausible wire stream: the opening batch plus two
+        # continuation windows, concatenated back to back.
+        batches = [payload.symbols]
+        start = len(payload.symbols)
+        for _ in range(2):
+            count = next_batch_size(start)
+            counts, key_sums, check_sums = encoder.window(start, count)
+            batches.append(SymbolBatch(start=start, counts=counts,
+                                       key_sums=key_sums,
+                                       check_sums=check_sums))
+            start += count
+        blobs = [encode_symbol_batch(b) for b in batches]
+        stream = b"".join(blobs)
+        boundaries = [0]
+        for blob in blobs:
+            boundaries.append(boundaries[-1] + len(blob))
+        rng = rng_from("p3cut", params["cut_seed"])
+        mode = params["mode"]
+        if mode == "truncate_boundary":
+            # A stream cut at any batch boundary parses into exactly the
+            # whole batches before the cut -- the receiver then stalls
+            # and the recovery ladder treats it as a timeout.  A
+            # boundary cut must never raise or mis-frame.
+            for k, cut in enumerate(boundaries):
+                prefix, off, parsed = stream[:cut], 0, 0
+                while off < len(prefix):
+                    batch, off = decode_symbol_batch(prefix, off)
+                    if list(batch.counts) != list(batches[parsed].counts):
+                        return self.fail(
+                            "p3-boundary-reparse",
+                            f"batch {parsed} drifts after a cut at {cut}",
+                            params)
+                    parsed += 1
+                if off != cut or parsed != k:
+                    return self.fail("p3-boundary-framing",
+                                     f"cut at {cut}: consumed {off} bytes, "
+                                     f"{parsed} batches", params)
+            return None
+        if mode == "midstream_eof":
+            # A disconnect strictly inside a batch leaves a partial
+            # batch at the tail; the decoder must raise rather than
+            # return fewer symbols than the header promised.
+            k = rng.randrange(len(blobs))
+            cut = boundaries[k] + rng.randint(1, len(blobs[k]) - 1)
+            try:
+                off = 0
+                while off < cut:
+                    _, off = decode_symbol_batch(stream[:cut], off)
+            except ReproError:
+                return None
+            return self.fail("p3-midstream-eof",
+                             f"stream cut at {cut}/{len(stream)} bytes "
+                             "parsed without error", params)
+        # bad_header: a forged count claiming more symbols than the
+        # buffer holds must be bounds-checked before any allocation.
+        target = blobs[rng.randrange(len(blobs))]
+        for claimed in (len(target) // SYMBOL_BYTES + 1, 0xFFFF):
+            forged = target[:4] + _struct.pack("<H", claimed) + target[6:]
+            try:
+                batch, _ = decode_symbol_batch(forged)
+            except ReproError:
+                continue
+            return self.fail("p3-bad-header",
+                             f"header claiming {claimed} symbols in a "
+                             f"{len(forged)}B buffer decoded {len(batch)}",
+                             params)
+        return None
+
     # -- hostile input --------------------------------------------------
 
     def _base_blob(self, params) -> bytes:
@@ -438,6 +620,9 @@ class CodecEngine(Engine):
         if base == "p1":
             payload, _ = gen.make_p1(p1_params)
             return encode_protocol1_payload(payload)
+        if base == "p3":
+            payload, _, _ = gen.make_p3(p1_params)
+            return encode_protocol3_payload(payload)
         p1_params["fraction"] = min(p1_params["fraction"], 0.9)
         built = gen.make_p2(p1_params)
         if built is None:
@@ -535,7 +720,8 @@ class CodecEngine(Engine):
                 "transaction": decode_transaction,
                 "p1": decode_protocol1_payload,
                 "p2_request": decode_protocol2_request,
-                "p2_response": decode_protocol2_response}[base]
+                "p2_response": decode_protocol2_response,
+                "p3": decode_protocol3_payload}[base]
 
     def shrink_candidates(self, params: dict) -> Iterable[dict]:
         yield from super().shrink_candidates(params)
@@ -557,10 +743,10 @@ class PDSEngine(Engine):
     name = "pds"
     cost = 2
     shrink_floors = {"n_a": 0, "n_b": 0, "n_shared": 0, "cells": 4,
-                     "k": 2, "n": 0, "probes": 1}
+                     "k": 2, "n": 0, "probes": 1, "batch": 1}
 
     def draw(self, rng: random.Random) -> dict:
-        struct = rng.choice(["iblt", "bloom"])
+        struct = rng.choice(["iblt", "bloom", "riblt"])
         params = {"struct": struct, "seed": rng.getrandbits(24),
                   "numpy": rng.random() < 0.7}
         if struct == "iblt":
@@ -569,6 +755,11 @@ class PDSEngine(Engine):
                           cell_bytes=rng.randint(12, 18),
                           n_shared=rng.randint(0, 60),
                           n_a=rng.randint(0, 90), n_b=rng.randint(0, 45))
+        elif struct == "riblt":
+            params.update(sseed=rng.getrandbits(16),
+                          n_shared=rng.randint(0, 60),
+                          n_a=rng.randint(0, 60), n_b=rng.randint(0, 30),
+                          batch=rng.randint(1, 32))
         else:
             params.update(n=rng.randint(0, 120),
                           fpr=round(10.0 ** -rng.uniform(0.3, 3.0), 6),
@@ -578,17 +769,66 @@ class PDSEngine(Engine):
         return params
 
     def check(self, params: dict) -> Optional[FuzzFailure]:
-        if params["struct"] == "iblt":
-            failure = self._check_iblt(params)
-        else:
-            failure = self._check_bloom(params)
+        checker = {"iblt": self._check_iblt, "bloom": self._check_bloom,
+                   "riblt": self._check_riblt}[params["struct"]]
+        failure = checker(params)
         if failure is None and not params["numpy"]:
             with numpy_disabled():
-                if params["struct"] == "iblt":
-                    failure = self._check_iblt(params, tag="nonumpy-")
-                else:
-                    failure = self._check_bloom(params, tag="nonumpy-")
+                failure = checker(params, tag="nonumpy-")
         return failure
+
+    def _check_riblt(self, params, tag="") -> Optional[FuzzFailure]:
+        from repro.errors import MalformedIBLTError
+        from repro.pds.riblt import RIBLTEncoder, reconcile
+
+        rng = rng_from("pds-riblt", params["seed"])
+        shared = gen.make_keys(rng, params["n_shared"])
+        only_a = gen.make_keys(rng, params["n_a"])
+        only_b = gen.make_keys(rng, params["n_b"])
+        # Dedupe across the three draws so the expected symmetric
+        # difference is exact (64-bit collisions are astronomically
+        # unlikely but would make the oracle ambiguous).
+        seen: set = set()
+        shared = [k for k in shared if not (k in seen or seen.add(k))]
+        only_a = [k for k in only_a if not (k in seen or seen.add(k))]
+        only_b = [k for k in only_b if not (k in seen or seen.add(k))]
+        sender, receiver = shared + only_a, shared + only_b
+        seed = params["sseed"]
+
+        # Ratelessness: the stream is a pure function of (keys, seed),
+        # so any chunking of windows re-serves identical symbols.
+        whole = RIBLTEncoder(sender, seed=seed)
+        total = 16 + params["batch"]
+        reference = whole.window(0, total)
+        chunked = RIBLTEncoder(sender, seed=seed)
+        pieces = ([], [], [])
+        offset = 0
+        while offset < total:
+            step = min(params["batch"], total - offset)
+            for acc, col in zip(pieces, chunked.window(offset, step)):
+                acc.extend(col)
+            offset += step
+        if tuple(map(list, pieces)) != tuple(map(list, reference)):
+            return self.fail(tag + "riblt-window-invariance",
+                             "chunked windows differ from one straight "
+                             "read of the stream", params)
+
+        # Differential decode: the recovered difference must equal the
+        # set-algebra oracle exactly, in both directions.
+        try:
+            decoder, used = reconcile(sender, receiver, seed=seed,
+                                      batch=params["batch"])
+        except MalformedIBLTError as exc:
+            return self.fail(tag + "riblt-no-convergence", str(exc), params)
+        if set(decoder.local) != set(only_a):
+            return self.fail(tag + "riblt-local-oracle",
+                             f"decoded {len(decoder.local)} sender-only "
+                             f"keys, expected {len(only_a)}", params)
+        if set(decoder.remote) != set(only_b):
+            return self.fail(tag + "riblt-remote-oracle",
+                             f"decoded {len(decoder.remote)} receiver-only "
+                             f"keys, expected {len(only_b)}", params)
+        return None
 
     def _check_iblt(self, params, tag="") -> Optional[FuzzFailure]:
         from repro.pds.iblt import IBLT
@@ -695,6 +935,8 @@ class PDSEngine(Engine):
 #: Commands a fault plan may target (graphene relay path + basics).
 FAULT_COMMANDS = ("inv", "getdata", "graphene_block",
                   "graphene_p2_request", "graphene_p2_response",
+                  "graphene_p3_block", "graphene_p3_request",
+                  "graphene_p3_symbols",
                   "getdata_shortids", "block_txs", "block")
 
 
@@ -715,6 +957,7 @@ class RelayEngine(Engine):
                   "block_size": rng.randint(16, 60),
                   "extra": rng.randint(0, 40),
                   "loss": rng.choice([0.0, 0.0, 0.03, 0.08, 0.15]),
+                  "protocol": rng.choice([1, 1, 1, 3]),
                   "seed": rng.getrandbits(24), "fault": None}
         if rng.random() < 0.4:
             fault = {"node": rng.randrange(nodes),
@@ -735,6 +978,8 @@ class RelayEngine(Engine):
             yield {**params, "loss": 0.0}
         if params.get("fault") is not None:
             yield {**params, "fault": None}
+        if params.get("protocol", 1) != 1:
+            yield {**params, "protocol": 1}
 
     def check(self, params: dict) -> Optional[FuzzFailure]:
         import random as _random
@@ -768,9 +1013,12 @@ class RelayEngine(Engine):
                            if fault_spec["blackhole"] else None))
 
         def build_and_run(trace: bool):
+            from repro.core.params import GrapheneConfig
+
+            config = GrapheneConfig(protocol=params.get("protocol", 1))
             simulator = Simulator()
             peers = [Node(f"f{i:02d}", simulator,
-                          protocol=RelayProtocol.GRAPHENE)
+                          protocol=RelayProtocol.GRAPHENE, config=config)
                      for i in range(params["nodes"])]
             connect_random_regular(peers, degree=params["degree"],
                                    latency=0.05, bandwidth=1_000_000.0,

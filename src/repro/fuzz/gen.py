@@ -102,6 +102,21 @@ def make_p1(params: dict):
     return payload, sc
 
 
+def make_p3(params: dict):
+    """A Protocol 3 opening payload, its encoder and its scenario.
+
+    The encoder is the sender's shared symbol stream: windows past the
+    opening batch are what continuation requests re-serve.
+    """
+    from repro.core.protocol3 import build_protocol3
+
+    sc = make_block_scenario(n=params["n"], extra=params["extra"],
+                             fraction=params["fraction"],
+                             seed=params["seed"])
+    payload, encoder = build_protocol3(sc.block.txs, sc.m, GrapheneConfig())
+    return payload, encoder, sc
+
+
 def make_p2(params: dict):
     """A Protocol 2 request/response pair (returns None if P1 succeeds).
 

@@ -23,12 +23,14 @@ _SEQ = itertools.count()
 COMMANDS = frozenset({
     "inv", "getdata", "tx",
     "graphene_block", "graphene_p2_request", "graphene_p2_response",
+    "graphene_p3_block", "graphene_p3_request", "graphene_p3_symbols",
     "getdata_shortids", "block_txs",
     "cmpctblock", "getblocktxn", "blocktxn",
     "xthin_getdata", "xthinblock",
     "block",
     "mempool_sync_request", "mempool_sync_p1",
     "mempool_sync_p2_req", "mempool_sync_p2_resp",
+    "mempool_sync_p3", "mempool_sync_p3_req", "mempool_sync_p3_sym",
     "sync_fetch", "sync_txs", "sync_push",
 })
 

@@ -56,6 +56,9 @@ _WIRE_BY_STEP = {
     "graphene_block": "mempool_sync_p1",
     "graphene_p2_request": "mempool_sync_p2_req",
     "graphene_p2_response": "mempool_sync_p2_resp",
+    "graphene_p3_block": "mempool_sync_p3",
+    "graphene_p3_request": "mempool_sync_p3_req",
+    "graphene_p3_symbols": "mempool_sync_p3_sym",
     "getdata_shortids": "sync_fetch",
     "block_txs": "sync_txs",
 }
@@ -137,6 +140,9 @@ class MempoolSyncMixin:
     def _on_mempool_sync_p2_req(self, sender, payload) -> None:
         self._sync_serve(sender, "graphene_p2_request", payload)
 
+    def _on_mempool_sync_p3_req(self, sender, payload) -> None:
+        self._sync_serve(sender, "graphene_p3_request", payload)
+
     def _on_sync_fetch(self, sender, payload) -> None:
         self._sync_serve(sender, "getdata_shortids", payload)
 
@@ -172,6 +178,12 @@ class MempoolSyncMixin:
 
     def _on_mempool_sync_p2_resp(self, sender, payload) -> None:
         self._sync_advance(sender, "graphene_p2_response", payload)
+
+    def _on_mempool_sync_p3(self, sender, payload) -> None:
+        self._sync_advance(sender, "graphene_p3_block", payload)
+
+    def _on_mempool_sync_p3_sym(self, sender, payload) -> None:
+        self._sync_advance(sender, "graphene_p3_symbols", payload)
 
     def _on_sync_txs(self, sender, payload) -> None:
         self._sync_advance(sender, "block_txs", payload)

@@ -131,13 +131,16 @@ class IBLT:
 
     def __init__(self, cells: int, k: int = 4, seed: int = 0,
                  cell_bytes: int = DEFAULT_CELL_BYTES):
-        if cells < 1:
-            raise ParameterError(f"cells must be >= 1, got {cells}")
+        if cells < 0:
+            raise ParameterError(f"cells must be >= 0, got {cells}")
         if k < 2:
             raise ParameterError(f"k must be >= 2, got {k}")
         if cell_bytes < 1:
             raise ParameterError(f"cell_bytes must be >= 1, got {cell_bytes}")
         # Round up so the cell array divides evenly into k partitions.
+        # A 0-cell table is allowed to exist (a degenerate sizing input
+        # must fail a *decode*, not crash construction) but can never
+        # hold keys and never reports a complete decode.
         if cells % k:
             cells += k - cells % k
         self.cells = cells
@@ -160,6 +163,8 @@ class IBLT:
     # ------------------------------------------------------------------
 
     def _apply(self, key: int, delta: int) -> None:
+        if not self.cells:
+            raise ParameterError("cannot store keys in a 0-cell IBLT")
         key &= _U64
         self._pristine = False
         words, csum = self.hasher.entry(key)
@@ -199,6 +204,8 @@ class IBLT:
         keys = [key & _U64 for key in keys]
         if not keys:
             return
+        if not self.cells:
+            raise ParameterError("cannot store keys in a 0-cell IBLT")
         if _np is not None and len(keys) >= _BATCH_MIN:
             fkey = None
             if self._pristine:
@@ -339,7 +346,13 @@ class IBLT:
         columns.  Raises :class:`MalformedIBLTError` when the same key is
         recovered twice, the section 6.1 defence against adversarial
         endless-loop IBLTs.
+
+        A 0-cell table reports a clean decode *failure*: with no cells
+        there is no evidence the difference is empty, and the all-zero
+        "complete" answer would be a silently wrong set.
         """
+        if not self.cells:
+            return DecodeResult(False)
         counts = array("q", self._counts)
         key_sums = array("Q", self._key_sums)
         check_sums = array("Q", self._check_sums)

@@ -103,8 +103,13 @@ class IBLTParamTable:
         if j < 0:
             raise ParameterError(f"j must be non-negative, got {j}")
         if j == 0:
-            k = self.rows[0][1]
-            return IBLTParams(cells=k, k=k)
+            # Clamp to the smallest certified row.  Returning a k-cell,
+            # width-1 table here under-allocates: an estimate of zero
+            # still has to absorb the beta-probability event that the
+            # difference was not zero, and the j=1 row is the smallest
+            # shape the Monte-Carlo search certified for *any* load.
+            row_j, k, cells = self.rows[0]
+            return IBLTParams(cells=cells, k=k)
         if j <= self._max_j:
             for row_j, k, cells in self.rows:
                 if row_j >= j:

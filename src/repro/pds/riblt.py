@@ -1,0 +1,381 @@
+"""Rateless IBLT: an infinite coded-symbol stream for set reconciliation.
+
+Implements the construction of Yang et al., "Practical Rateless Set
+Reconciliation" (see PAPERS.md): instead of sizing an IBLT to a
+difference estimate up front, the sender emits an endless stream of
+*coded symbols* -- IBLT-style cells -- and the receiver consumes
+symbols until its peeling decoder terminates.  Reconciling a symmetric
+difference of ``d`` items costs about ``1.35 d`` symbols in expectation
+for large ``d``, with no parameter table, no hedge factor and no
+failure branch: a stream that has not decoded yet is simply a stream
+that needs more symbols.
+
+Construction
+------------
+
+Every key participates in symbol 0.  After index ``i`` a key's next
+index is drawn so that the *mapping density* -- the probability a key
+participates in symbol ``t`` -- decays as ``1.5 / (t + 1.5)``.  Each
+key carries its own deterministic PRNG (a 64-bit multiplicative
+congruential generator seeded from the key's hash), so both sides of
+an exchange derive identical index sequences from the key alone::
+
+    s    <- s * 0xda942042e4dd58b5  (mod 2^64)
+    u    <- (s >> 32): 1 - u/2^32 uniform in (0, 1]
+    gap  <- max(1, ceil((i + 1.5) * (2^16 / sqrt(u + 1) - 1)))
+    next <- i + gap
+
+A coded symbol is exactly an IBLT cell: a signed ``count``, the xor of
+participating keys (``keySum``) and the xor of their 16-bit checksums
+(``checkSum``).  Subtracting a sender's symbol stream from the same
+prefix generated over the receiver's key set leaves a stream whose
+pure cells (count +-1, checksum consistent) peel out the symmetric
+difference, exactly like a subtracted IBLT -- except the prefix can
+*grow*: recovered keys remember their stream position, so peeling
+continues seamlessly into newly arrived symbols.
+
+Storage is columnar like :mod:`repro.pds.iblt`: three flat parallel
+arrays per stream.  Symbol generation has a numpy lockstep batch path
+(all keys advance through the index stream together under an active
+mask) and a scalar pure-Python path, selected by
+:func:`repro.fastpath.fastpath_enabled` (``REPRO_FASTPATH=0`` forces
+pure) -- both produce bit-identical columns.
+
+The decoder keeps the section 6.1 malformed-table defence: a key
+peeled twice raises :class:`~repro.errors.MalformedIBLTError` instead
+of looping forever.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Iterable, Optional, Sequence
+
+from repro import fastpath
+from repro.errors import MalformedIBLTError, ParameterError
+from repro.utils.hashing import DerivedHasher
+
+try:  # optional vector backend for symbol generation
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: Multiplier of the per-key index-stream PRNG (a full-period 64-bit
+#: MCG constant; both sides derive identical streams from it).
+_PRNG_MULT = 0xDA942042E4DD58B5
+
+#: Below this many keys the scalar loop beats numpy's fixed call overhead.
+_BATCH_MIN = 32
+
+#: Serialized width of one coded symbol:
+#: ``count i32 | keySum u64 | checkSum u16``.  Unlike an IBLT cell's
+#: i16 count, symbol 0 sums *every* key in the set, so the count field
+#: must hold a whole mempool.
+SYMBOL_BYTES = 14
+
+#: Wire header preceding every symbol batch: ``start u32 | count u16``
+#: (see :func:`repro.codec.encode_symbol_batch` and PROTOCOL.md 1.4).
+SYMBOL_BATCH_HEADER_BYTES = 6
+
+
+def symbol_stream_bytes(count: int) -> int:
+    """Wire size of one batch of ``count`` coded symbols."""
+    return SYMBOL_BATCH_HEADER_BYTES + SYMBOL_BYTES * count
+
+
+def _initial_state(hasher: DerivedHasher, key: int) -> tuple[int, int]:
+    """Per-key PRNG seed and 16-bit checksum, both from the hash family.
+
+    The first hash word seeds the index-stream PRNG (forced nonzero:
+    a zero MCG state is absorbing).  The checksum is the same masked
+    entry checksum IBLT cells use, so a short ID hashed for an IBLT
+    costs nothing to re-derive here.
+    """
+    words, csum = hasher.entry(key)
+    return words[0] or 1, csum & 0xFFFF
+
+
+def _next_index(state: int, idx: int) -> tuple[int, int]:
+    """Advance one key's stream: returns ``(new_state, next_index)``."""
+    state = (state * _PRNG_MULT) & _U64
+    u = state >> 32
+    gap = math.ceil((idx + 1.5) * (65536.0 / math.sqrt(u + 1.0) - 1.0))
+    return state, idx + (gap if gap > 1 else 1)
+
+
+class RIBLTEncoder:
+    """Generates the coded-symbol prefix for a fixed key set.
+
+    The stream is a pure function of ``(keys, seed)``: extending the
+    prefix is deterministic and any window of it can be re-served
+    byte-identically (retransmissions, multiple peers).  Symbols are
+    generated lazily -- :meth:`extend` grows the columnar prefix to a
+    requested length; :meth:`window` snapshots a slice.
+    """
+
+    __slots__ = ("seed", "hasher", "size", "_counts", "_key_sums",
+                 "_check_sums", "_keys", "_csums", "_states", "_next")
+
+    def __init__(self, keys: Iterable[int], seed: int = 0):
+        self.seed = seed
+        self.hasher = DerivedHasher.shared(1, seed)
+        self.size = 0
+        self._counts = array("q")
+        self._key_sums = array("Q")
+        self._check_sums = array("Q")
+        uniq = {key & _U64 for key in keys}
+        self._keys = array("Q", sorted(uniq))
+        self._csums = array("Q", bytes(8 * len(uniq)))
+        self._states = array("Q", bytes(8 * len(uniq)))
+        #: Next stream index each key participates in (all start at 0).
+        self._next = array("q", bytes(8 * len(uniq)))
+        for i, key in enumerate(self._keys):
+            state, csum = _initial_state(self.hasher, key)
+            self._states[i] = state
+            self._csums[i] = csum
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def key_count(self) -> int:
+        return len(self._keys)
+
+    def extend(self, size: int) -> None:
+        """Grow the generated prefix to at least ``size`` symbols."""
+        if size <= self.size:
+            return
+        grow = size - self.size
+        self._counts.extend([0] * grow)
+        self._key_sums.frombytes(bytes(8 * grow))
+        self._check_sums.frombytes(bytes(8 * grow))
+        if (_np is not None and fastpath.fastpath_enabled()
+                and len(self._keys) >= _BATCH_MIN):
+            self._extend_batch(size)
+        else:
+            self._extend_py(size)
+        self.size = size
+
+    def _extend_py(self, size: int) -> None:
+        """Scalar reference path: walk each key's stream independently."""
+        counts = self._counts
+        key_sums = self._key_sums
+        check_sums = self._check_sums
+        for i in range(len(self._keys)):
+            idx = self._next[i]
+            if idx >= size:
+                continue
+            key = self._keys[i]
+            csum = self._csums[i]
+            state = self._states[i]
+            while idx < size:
+                counts[idx] += 1
+                key_sums[idx] ^= key
+                check_sums[idx] ^= csum
+                state, idx = _next_index(state, idx)
+            self._states[i] = state
+            self._next[i] = idx
+
+    def _extend_batch(self, size: int) -> None:
+        """Numpy lockstep path: all in-range keys advance together.
+
+        Each pass applies one symbol per active key (``bincount`` for
+        counts, ``bitwise_xor.at`` for the sums) then advances every
+        active stream one step; identical arithmetic to the scalar
+        loop, so the columns match bit for bit.
+        """
+        keys = _np.frombuffer(self._keys, dtype=_np.uint64)
+        csums = _np.frombuffer(self._csums, dtype=_np.uint64)
+        states = _np.frombuffer(self._states, dtype=_np.uint64)
+        nxt = _np.frombuffer(self._next, dtype=_np.int64)
+        counts = _np.frombuffer(self._counts, dtype=_np.int64)
+        key_sums = _np.frombuffer(self._key_sums, dtype=_np.uint64)
+        check_sums = _np.frombuffer(self._check_sums, dtype=_np.uint64)
+        while True:
+            active = nxt < size
+            if not active.any():
+                break
+            idx = nxt[active]
+            counts += _np.bincount(idx, minlength=counts.size)
+            _np.bitwise_xor.at(key_sums, idx, keys[active])
+            _np.bitwise_xor.at(check_sums, idx, csums[active])
+            state = states[active] * _np.uint64(_PRNG_MULT)  # wraps mod 2^64
+            u = state >> _np.uint64(32)
+            gap = _np.ceil((idx + 1.5)
+                           * (65536.0 / _np.sqrt(u + 1.0) - 1.0))
+            gap = _np.maximum(gap.astype(_np.int64), 1)
+            states[active] = state
+            nxt[active] = idx + gap
+
+    def window(self, start: int, count: int):
+        """Columns of symbols ``[start, start + count)`` as array copies.
+
+        Extends the prefix as needed; the returned triple is
+        ``(counts, key_sums, check_sums)``.
+        """
+        if start < 0 or count < 0:
+            raise ParameterError(
+                f"symbol window must be non-negative: {start}, {count}")
+        self.extend(start + count)
+        stop = start + count
+        return (self._counts[start:stop], self._key_sums[start:stop],
+                self._check_sums[start:stop])
+
+
+class RIBLTDecoder:
+    """Peels a sender's symbol stream against a local candidate set.
+
+    Feed sender symbols in arrival order with :meth:`add_symbols`; the
+    decoder subtracts its own locally generated stream (over
+    ``local_keys``) and peels the difference incrementally.  Decoding
+    is ``complete`` once the subtracted prefix is all zeros -- at that
+    point :attr:`local` holds keys only the *sender* has (sign +1,
+    e.g. block transactions the receiver is missing) and
+    :attr:`remote` holds keys only the *receiver* has (sign -1, e.g.
+    Bloom false positives), matching the naming of
+    :meth:`repro.pds.iblt.IBLT.decode` for a ``sender - receiver``
+    subtraction.
+
+    Recovered keys remember their stream position, so symbols arriving
+    after a key was peeled are corrected on ingest and the peel
+    continues across batch boundaries.
+    """
+
+    __slots__ = ("seed", "hasher", "size", "_encoder", "_counts",
+                 "_key_sums", "_check_sums", "local", "remote",
+                 "_peeled")
+
+    def __init__(self, local_keys: Iterable[int], seed: int = 0):
+        self.seed = seed
+        self.hasher = DerivedHasher.shared(1, seed)
+        self.size = 0
+        self._encoder = RIBLTEncoder(local_keys, seed=seed)
+        # Subtracted columns: sender stream minus the local stream.
+        self._counts = array("q")
+        self._key_sums = array("Q")
+        self._check_sums = array("Q")
+        self.local: set = set()
+        self.remote: set = set()
+        #: Recovered keys' forward stream positions:
+        #: ``key -> [sign, csum, state, next_idx]``.
+        self._peeled: dict = {}
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def complete(self) -> bool:
+        """True when the subtracted prefix has fully peeled to zeros.
+
+        Vacuously false before any symbol arrives: completeness is a
+        statement about observed symbols.
+        """
+        if self.size == 0:
+            return False
+        zeros = bytes(8 * self.size)
+        return (self._counts.tobytes() == zeros
+                and self._key_sums.tobytes() == zeros
+                and self._check_sums.tobytes() == zeros)
+
+    def add_symbols(self, counts: Sequence[int], key_sums: Sequence[int],
+                    check_sums: Sequence[int]) -> bool:
+        """Ingest the next batch of sender symbols; returns ``complete``.
+
+        Batches must arrive in stream order (the caller checks the wire
+        batch's ``start`` against :attr:`size`).  Raises
+        :class:`MalformedIBLTError` if peeling recovers a key twice.
+        """
+        if not (len(counts) == len(key_sums) == len(check_sums)):
+            raise ParameterError("symbol batch columns disagree in length")
+        start = self.size
+        stop = start + len(counts)
+        self._encoder.extend(stop)
+        enc_c = self._encoder._counts
+        enc_k = self._encoder._key_sums
+        enc_s = self._encoder._check_sums
+        sub_c = self._counts
+        sub_k = self._key_sums
+        sub_s = self._check_sums
+        for i in range(len(counts)):
+            idx = start + i
+            sub_c.append(counts[i] - enc_c[idx])
+            sub_k.append((key_sums[i] ^ enc_k[idx]) & _U64)
+            sub_s.append((check_sums[i] ^ enc_s[idx]) & _U64)
+        self.size = stop
+        # Keys peeled from the earlier prefix keep participating in the
+        # stream: subtract them out of the new region before peeling.
+        stack = []
+        for key, pos in self._peeled.items():
+            sign, csum, state, idx = pos
+            while idx < stop:
+                sub_c[idx] -= sign
+                sub_k[idx] ^= key
+                sub_s[idx] ^= csum
+                if sub_c[idx] in (1, -1):
+                    stack.append(idx)
+                state, idx = _next_index(state, idx)
+            pos[2] = state
+            pos[3] = idx
+        stack.extend(i for i in range(start, stop) if sub_c[i] in (1, -1))
+        self._peel(stack)
+        return self.complete
+
+    def _peel(self, stack: list) -> None:
+        sub_c = self._counts
+        sub_k = self._key_sums
+        sub_s = self._check_sums
+        size = self.size
+        while stack:
+            idx = stack.pop()
+            sign = sub_c[idx]
+            if sign not in (1, -1):
+                continue
+            key = sub_k[idx]
+            state, csum = _initial_state(self.hasher, key)
+            if csum != sub_s[idx]:
+                continue  # not a pure cell, just a coincidence of counts
+            if key in self._peeled:
+                raise MalformedIBLTError(
+                    f"key {key:#x} decoded twice; symbol stream is "
+                    "malformed")
+            (self.local if sign == 1 else self.remote).add(key)
+            # Peel the key out of its entire index stream within the
+            # current prefix, remembering where it left off.
+            i = 0
+            while i < size:
+                sub_c[i] -= sign
+                sub_k[i] ^= key
+                sub_s[i] ^= csum
+                if sub_c[i] in (1, -1):
+                    stack.append(i)
+                state, i = _next_index(state, i)
+            self._peeled[key] = [sign, csum, state, i]
+
+
+def reconcile(sender_keys: Iterable[int], receiver_keys: Iterable[int],
+              seed: int = 0, batch: int = 8,
+              max_symbols: Optional[int] = None):
+    """Run a whole exchange in memory; returns ``(decoder, symbols_used)``.
+
+    Streams ``batch``-symbol chunks from an encoder over
+    ``sender_keys`` into a decoder over ``receiver_keys`` until the
+    difference decodes.  ``max_symbols`` bounds the stream (default
+    generous) so a test that should converge fails loudly instead of
+    spinning.
+    """
+    if batch < 1:
+        raise ParameterError(f"batch must be >= 1, got {batch}")
+    encoder = RIBLTEncoder(sender_keys, seed=seed)
+    decoder = RIBLTDecoder(receiver_keys, seed=seed)
+    if max_symbols is None:
+        max_symbols = 64 + 8 * (encoder.key_count
+                                + decoder._encoder.key_count)
+    while decoder.size < max_symbols:
+        counts, key_sums, check_sums = encoder.window(decoder.size, batch)
+        if decoder.add_symbols(counts, key_sums, check_sums):
+            return decoder, decoder.size
+    raise MalformedIBLTError(
+        f"stream did not decode within {max_symbols} symbols")

@@ -26,11 +26,32 @@ class TestRelay:
                      "--fraction", "0.9"]) == 0
         assert "protocol 2" in capsys.readouterr().out
 
+    def test_p3_flag(self, capsys):
+        assert main(["relay", "--n", "200", "--extra", "200", "--p3",
+                     "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol 3" in out
+        assert "riblt" in out
+
+    def test_p3_flag_under_provisioned_receiver(self, capsys):
+        # The regime that forces classic Graphene into the P2 fallback
+        # never leaves protocol 3: the stream just runs longer.
+        assert main(["relay", "--n", "200", "--extra", "200",
+                     "--fraction", "0.8", "--p3"]) == 0
+        assert "protocol 3" in capsys.readouterr().out
+
 
 class TestSync:
     def test_sync_succeeds(self, capsys):
         assert main(["sync", "--n", "300", "--common", "0.5"]) == 0
         out = capsys.readouterr().out
+        assert "synchronized=True" in out
+
+    def test_sync_p3_flag(self, capsys):
+        assert main(["sync", "--n", "300", "--common", "0.5",
+                     "--p3"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol 3" in out
         assert "synchronized=True" in out
 
 
@@ -78,6 +99,89 @@ class TestNetsim:
         assert main(["netsim", "--nodes", "4", "--degree", "2",
                      "--block-size", "40",
                      "--protocol", "full_block"]) == 0
+
+
+class TestPeerJSON:
+    """``repro peer --json`` against a live socket server.
+
+    The JSON document is the machine-readable record of the fetch; on
+    the abandon rung it must still carry the recovery marks and the
+    bytes spent before giving up (a regression: the single-connection
+    serializer used to drop ``escalated``/``abandoned``/``marks``)."""
+
+    def _serve_in_thread(self, scenario, drop=None):
+        import asyncio
+        import threading
+
+        from repro.net.peer import BlockServer
+
+        started = threading.Event()
+        stop = threading.Event()
+        port_box: list = []
+
+        def run_server():
+            async def run():
+                server = BlockServer(scenario.block, drop=drop)
+                port_box.append(await server.start("127.0.0.1", 0))
+                started.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+                await server.close()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert started.wait(5.0), "server thread never came up"
+        return port_box[0], stop, thread
+
+    def test_success_json_has_recovery_fields(self, capsys):
+        from repro.chain.scenarios import make_block_scenario
+
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=9)
+        port, stop, thread = self._serve_in_thread(sc)
+        try:
+            rc = main(["peer", "--port", str(port), "--n", "60",
+                       "--extra", "60", "--seed", "9", "--json"])
+        finally:
+            stop.set()
+            thread.join(5.0)
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["success"] is True
+        assert doc["abandoned"] is False
+        assert doc["escalated"] is False
+        assert doc["via_fullblock"] is False
+        assert [m["name"] for m in doc["marks"]] == ["done"]
+
+    def test_abandon_json_carries_marks_and_partial_cost(self, capsys):
+        from repro.chain.scenarios import make_block_scenario
+
+        sc = make_block_scenario(n=60, extra=60, fraction=1.0, seed=9)
+        blackhole = {"getdata": 10 ** 9, "graphene_p2_request": 10 ** 9,
+                     "graphene_p3_request": 10 ** 9,
+                     "getdata_shortids": 10 ** 9, "getdata_block": 10 ** 9}
+        port, stop, thread = self._serve_in_thread(sc, drop=blackhole)
+        try:
+            rc = main(["peer", "--port", str(port), "--n", "60",
+                       "--extra", "60", "--seed", "9", "--json",
+                       "--timeout-base", "0.1", "--max-retries", "1"])
+        finally:
+            stop.set()
+            thread.join(5.0)
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["success"] is False
+        assert doc["abandoned"] is True
+        assert doc["escalated"] is True
+        assert doc["timeouts"] >= 1
+        # The marks narrate the ladder: escalation(s), then the abandon.
+        names = [m["name"] for m in doc["marks"]]
+        assert "abandon" in names and "escalate" in names
+        # Partial cost: the getdata bytes burned before giving up are
+        # still accounted, not zeroed out by the failure.
+        assert sum(doc["cost"].values()) > 0
+        assert doc["events"], "abandoned fetch still reports its events"
 
 
 class TestParser:

@@ -58,7 +58,9 @@ class TestTruncationAtEveryOffset:
             encode_protocol1_payload,
             encode_protocol2_request,
             encode_protocol2_response,
+            encode_protocol3_payload,
         )
+        from repro.core.protocol3 import build_protocol3
         config = GrapheneConfig()
         sc = make_block_scenario(n=120, extra=80, fraction=0.7, seed=75)
         payload = build_protocol1(sc.block.txs, sc.m, config)
@@ -67,16 +69,19 @@ class TestTruncationAtEveryOffset:
         assert not p1.success, "scenario must reach Protocol 2"
         request, _ = build_protocol2_request(p1, payload, sc.m, config)
         response = respond_protocol2(request, sc.block.txs, sc.m, config)
+        p3_payload, _ = build_protocol3(sc.block.txs, sc.m, config)
         return {
             "p1": encode_protocol1_payload(payload),
             "p2_request": encode_protocol2_request(request),
             "p2_response": encode_protocol2_response(response),
+            "p3": encode_protocol3_payload(p3_payload),
         }
 
     @pytest.mark.parametrize("name,decoder_name", [
         ("p1", "decode_protocol1_payload"),
         ("p2_request", "decode_protocol2_request"),
         ("p2_response", "decode_protocol2_response"),
+        ("p3", "decode_protocol3_payload"),
     ])
     def test_every_strict_prefix_raises(self, wire_messages, name,
                                         decoder_name):
@@ -94,3 +99,78 @@ class TestTruncationAtEveryOffset:
         assert not survivors, (
             f"{decoder_name} accepted strict prefixes of lengths "
             f"{survivors[:10]} (message is {len(blob)} bytes)")
+
+
+class TestSymbolStreamCuts:
+    """The Protocol 3 symbol stream under every disconnect geometry.
+
+    The wire stream is a sequence of self-delimiting batches; a cut at
+    a batch boundary leaves whole batches (the receiver stalls, which
+    the recovery ladder treats as a timeout), while a cut anywhere
+    inside a batch must raise rather than yield a short batch.
+    """
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        from repro.codec import encode_symbol_batch
+        from repro.core.protocol3 import (
+            SymbolBatch,
+            build_protocol3,
+            next_batch_size,
+        )
+        sc = make_block_scenario(n=100, extra=60, fraction=0.6, seed=31)
+        payload, encoder = build_protocol3(sc.block.txs, sc.m,
+                                           GrapheneConfig())
+        batches = [payload.symbols]
+        start = len(payload.symbols)
+        for _ in range(3):
+            count = next_batch_size(start)
+            counts, key_sums, check_sums = encoder.window(start, count)
+            batches.append(SymbolBatch(start=start, counts=counts,
+                                       key_sums=key_sums,
+                                       check_sums=check_sums))
+            start += count
+        blobs = [encode_symbol_batch(b) for b in batches]
+        boundaries = [0]
+        for blob in blobs:
+            boundaries.append(boundaries[-1] + len(blob))
+        return b"".join(blobs), boundaries
+
+    def _parse_all(self, data):
+        from repro.codec import decode_symbol_batch
+        offset, batches = 0, []
+        while offset < len(data):
+            batch, offset = decode_symbol_batch(data, offset)
+            batches.append(batch)
+        return batches
+
+    def test_cut_at_every_batch_boundary_parses_whole_batches(self, stream):
+        blob, boundaries = stream
+        for k, cut in enumerate(boundaries):
+            assert len(self._parse_all(blob[:cut])) == k
+
+    def test_cut_at_every_interior_offset_raises(self, stream):
+        blob, boundaries = stream
+        survivors = []
+        for cut in range(len(blob)):
+            if cut in boundaries:
+                continue
+            try:
+                self._parse_all(blob[:cut])
+            except ReproError:
+                continue
+            survivors.append(cut)
+        assert not survivors, (
+            f"mid-batch cuts at offsets {survivors[:10]} parsed without "
+            f"error (stream is {len(blob)} bytes)")
+
+    def test_hostile_count_never_reads_past_buffer(self, stream):
+        import struct
+
+        from repro.codec import decode_symbol_batch
+        blob, boundaries = stream
+        first = blob[:boundaries[1]]
+        for claimed in (len(first) // 14 + 1, 0x7FFF, 0xFFFF):
+            forged = first[:4] + struct.pack("<H", claimed) + first[6:]
+            with pytest.raises(ReproError):
+                decode_symbol_batch(forged)

@@ -24,9 +24,9 @@ class TestConstruction:
     def test_cells_rounded_to_multiple_of_k(self):
         assert IBLT(10, k=4).cells == 12
 
-    def test_rejects_bad_cells(self):
+    def test_rejects_negative_cells(self):
         with pytest.raises(ParameterError):
-            IBLT(0)
+            IBLT(-1)
 
     def test_rejects_bad_k(self):
         with pytest.raises(ParameterError):
@@ -271,3 +271,70 @@ class TestPropertyBased:
             ReferenceIBLT.from_keys(ys, 400, seed=17)).decode()
         assert (got.complete, got.local, got.remote) \
             == (want.complete, want.local, want.remote)
+
+
+class TestDegenerateTables:
+    """0-cell and all-zero tables fail *cleanly* (never raise or return
+    a silently-complete decode), on both the numpy and pure paths."""
+
+    @pytest.fixture(params=[True, False], ids=["fast", "pure"])
+    def _fastpath(self, request):
+        from repro.fastpath import fastpath_enabled, set_fastpath
+        saved = fastpath_enabled()
+        set_fastpath(request.param)
+        yield
+        set_fastpath(saved)
+
+    def test_zero_cells_constructs(self, _fastpath):
+        iblt = IBLT(0)
+        assert iblt.cells == 0
+        assert iblt.is_empty()
+
+    def test_zero_cells_decode_is_clean_failure(self, _fastpath):
+        decode = IBLT(0).decode()
+        assert not decode.complete
+        assert decode.local == frozenset() and decode.remote == frozenset()
+
+    def test_zero_cells_subtract_then_decode(self, _fastpath):
+        diff = IBLT(0).subtract(IBLT(0))
+        assert not diff.decode().complete
+
+    def test_zero_cells_rejects_keys(self, _fastpath):
+        with pytest.raises(ParameterError):
+            IBLT(0).insert(1)
+        with pytest.raises(ParameterError):
+            IBLT(0).update(_keys(64))
+
+    def test_all_zero_nonempty_expectation_protocol1(self, _fastpath):
+        """A subtracted IBLT that is all-zero while transactions are
+        provably in flight must report decode failure, not an empty
+        'complete' difference (the replayed-I' attack)."""
+        from repro.chain.scenarios import make_block_scenario
+        from repro.core.params import GrapheneConfig
+        from repro.core.protocol1 import build_protocol1, receive_protocol1
+
+        sc = make_block_scenario(n=60, extra=30, fraction=0.8, seed=41)
+        config = GrapheneConfig()
+        payload = build_protocol1(list(sc.block.txs),
+                                  len(sc.receiver_mempool), config)
+        # Forge I := I' by rebuilding the sender IBLT over the
+        # *receiver's* candidate set, so the subtract cancels exactly.
+        candidates = {tx.txid: tx for tx in payload.prefilled}
+        pool = [tx for tx in sc.receiver_mempool
+                if tx.txid not in candidates]
+        for tx, hit in zip(pool, payload.bloom_s.contains_many(
+                [tx.txid for tx in pool])):
+            if hit:
+                candidates[tx.txid] = tx
+        sids = [tx.short_id(config.short_id_bytes)
+                for tx in candidates.values()]
+        forged_iblt = IBLT(payload.iblt_i.cells, k=payload.iblt_i.k,
+                           seed=payload.iblt_i.seed)
+        forged_iblt.update(sids)
+        forged = type(payload)(n=payload.n, bloom_s=payload.bloom_s,
+                               iblt_i=forged_iblt, plan=payload.plan,
+                               recover=payload.recover,
+                               prefilled=payload.prefilled)
+        result = receive_protocol1(forged, sc.receiver_mempool, config)
+        assert not result.success
+        assert not result.decode_complete

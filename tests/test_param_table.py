@@ -29,9 +29,11 @@ class TestLookup:
         assert params.cells >= 1400  # tau 1.4 times safety margin
         assert params.cells % params.k == 0
 
-    def test_j_zero_minimal(self):
+    def test_j_zero_clamps_to_smallest_certified_row(self):
+        # An estimate of zero still has residual variance behind it, so
+        # the lookup must never under-allocate below a certified shape.
         table = IBLTParamTable([(10, 4, 40)], 240)
-        assert table.params_for(0).cells == 4
+        assert table.params_for(0).cells == 40
 
     def test_rejects_negative(self):
         table = IBLTParamTable([(10, 4, 40)], 240)

@@ -150,3 +150,60 @@ class TestCandidateSweep:
     def test_small_upper(self):
         from repro.core.params import _candidate_values
         assert _candidate_values(1, 3) == [1, 2, 3]
+
+
+class TestParamTableEdges:
+    """Boundary rows of the IBLT parameter table (clamp, never
+    under-allocate): an estimate at or below the smallest certified
+    entry gets the smallest certified shape, and a request past the
+    last row extrapolates with the tail hedge plus margin."""
+
+    def test_zero_clamps_to_smallest_row(self):
+        from repro.pds.param_table import IBLTParamTable
+        for denom in (24, 240, 2400):
+            table = default_param_table(denom)
+            row_j, row_k, row_cells = table.rows[0]
+            params = table.params_for(0)
+            assert params.cells == row_cells
+            assert params.k == row_k
+        # The built-in fallback's smallest row is 16 cells; the old
+        # degenerate k-cell answer under-allocated by 4x.
+        fallback = IBLTParamTable.fallback(240)
+        assert fallback.params_for(0) == fallback.params_for(1)
+        assert fallback.params_for(0).cells >= 16
+
+    def test_zero_never_smaller_than_one(self):
+        for denom in (24, 240, 2400):
+            table = default_param_table(denom)
+            assert table.params_for(0).cells >= table.params_for(1).cells
+
+    def test_first_row_exact(self):
+        table = default_param_table(240)
+        row_j, row_k, row_cells = table.rows[0]
+        params = table.params_for(row_j)
+        assert (params.cells, params.k) == (row_cells, row_k)
+
+    def test_last_row_exact(self):
+        table = default_param_table(240)
+        row_j, row_k, row_cells = table.rows[-1]
+        params = table.params_for(row_j)
+        assert (params.cells, params.k) == (row_cells, row_k)
+
+    def test_between_rows_rounds_up(self):
+        table = default_param_table(240)
+        (j_lo, _, _), (j_hi, k_hi, cells_hi) = table.rows[3], table.rows[4]
+        if j_hi - j_lo > 1:
+            params = table.params_for(j_lo + 1)
+            assert (params.cells, params.k) == (cells_hi, k_hi)
+
+    def test_beyond_table_extrapolates_with_margin(self):
+        table = default_param_table(240)
+        max_j, _, max_cells = table.rows[-1]
+        tail_tau = max_cells / max_j
+        params = table.params_for(max_j + 1)
+        assert params.cells >= (max_j + 1) * tail_tau
+        assert params.cells % params.k == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            default_param_table(240).params_for(-1)

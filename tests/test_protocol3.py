@@ -1,0 +1,323 @@
+"""Protocol 3 end to end: the rateless exchange on every transport.
+
+The tentpole claims, pinned here:
+
+* a Protocol 3 relay decodes every scenario *without a difference
+  estimate* -- there is no fallback branch to take, so ``protocol_used``
+  stays 3 and no ``p2`` events ever appear;
+* the exchange produces byte-identical CostBreakdowns and telemetry
+  event streams across all three transports -- loopback, the network
+  simulator, and a real localhost TCP socket -- exactly the parity
+  contract Protocols 1 and 2 already honor;
+* a stalled symbol stream is a timeout like any other: the recovery
+  ladder re-emits the continuation request verbatim and the sender
+  (whose stream is a pure function of the block) re-serves the same
+  window byte-for-byte;
+* hostile streams fail *cleanly*: a replayed batch, a desynchronized
+  window, or a stream that runs past the receiver's cap all end in
+  FAILED, never a wrong block and never an unbounded loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.scenarios import make_block_scenario, make_sync_scenario
+from repro.chain.transaction import TransactionGenerator
+from repro.core.engine import (
+    ActionKind,
+    GrapheneReceiverEngine,
+    GrapheneSenderEngine,
+    ReceiverPhase,
+)
+from repro.core.params import GrapheneConfig
+from repro.core.protocol3 import (
+    SymbolBatch,
+    first_batch_size,
+    next_batch_size,
+    sender_stream_cap,
+)
+from repro.core.session import BlockRelaySession
+from repro.core.sizing import CostBreakdown
+from repro.errors import ParameterError, ProtocolFailure
+from repro.net.node import Node
+from repro.net.peer import BlockServer, fetch_block
+from repro.net.recovery import RecoveryPolicy
+from repro.net.simulator import Link, Simulator
+from repro.net.transport import LoopbackTransport
+
+CFG = GrapheneConfig(protocol=3)
+
+#: Small timeouts so ladder tests stall in milliseconds, not seconds.
+FAST = dict(timeout_base=0.15, backoff=1.5)
+
+
+def _relay(scenario, config=CFG):
+    return BlockRelaySession(config).relay(scenario.block,
+                                           scenario.receiver_mempool)
+
+
+class TestLoopbackRelay:
+    @pytest.mark.parametrize("fraction,extra", [
+        (1.0, 0), (1.0, 100), (0.98, 100), (0.9, 200), (0.75, 50),
+    ])
+    def test_decodes_without_estimate(self, fraction, extra):
+        sc = make_block_scenario(n=150, extra=extra, fraction=fraction,
+                                 seed=31)
+        out = _relay(sc)
+        assert out.success
+        assert out.protocol_used == 3
+        assert [tx.txid for tx in out.txs] == list(sc.block.txids)
+        # The deleted failure branch: no P2 phase, no fallback outcome.
+        assert all(e.phase != "p2" for e in out.events)
+        assert all(e.outcome != "fallback" for e in out.events)
+
+    def test_single_roundtrip_when_synced(self):
+        sc = make_block_scenario(n=200, extra=120, fraction=1.0, seed=8)
+        out = _relay(sc)
+        assert out.success and out.roundtrips == 1.5
+        assert out.cost.riblt > 0 and out.cost.iblt_i == 0
+
+    def test_missing_txs_fetched_not_escalated(self):
+        sc = make_block_scenario(n=200, extra=100, fraction=0.95, seed=9)
+        out = _relay(sc)
+        assert out.success and out.protocol_used == 3
+        assert out.fetched_count == len(sc.missing)
+        assert out.cost.fetched_tx_bytes > 0
+
+    def test_tiny_block(self):
+        sc = make_block_scenario(n=1, extra=5, fraction=1.0, seed=2)
+        out = _relay(sc)
+        assert out.success and out.roundtrips == 1.5
+
+    def test_pure_python_byte_parity(self):
+        """The pure-Python paths relay the same bytes as numpy's."""
+        from repro.fastpath import fastpath_enabled, set_fastpath
+
+        sc = make_block_scenario(n=150, extra=100, fraction=0.97, seed=13)
+        fast = _relay(sc)
+        saved = fastpath_enabled()
+        set_fastpath(False)
+        try:
+            sc2 = make_block_scenario(n=150, extra=100, fraction=0.97,
+                                      seed=13)
+            pure = _relay(sc2)
+        finally:
+            set_fastpath(saved)
+        assert fast.success and pure.success
+        assert json.dumps(fast.cost.as_dict(), sort_keys=True) \
+            == json.dumps(pure.cost.as_dict(), sort_keys=True)
+
+    def test_mempool_mode_sync(self):
+        sc = make_sync_scenario(300, 0.9, seed=3)
+        sender = GrapheneSenderEngine(txs=sc.sender_mempool.transactions(),
+                                      config=CFG)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool, CFG,
+                                          mode="mempool")
+        final = LoopbackTransport(sender, receiver).run()
+        assert final.kind is ActionKind.DONE
+        got = set(receiver.reconciled)
+        want = {tx.txid for tx in sc.sender_mempool}
+        assert got == want
+
+
+class TestTransportParity:
+    """One scenario, three transports, identical analytic bytes."""
+
+    def _scenario(self):
+        return make_block_scenario(n=150, extra=150, fraction=0.96,
+                                   seed=21)
+
+    def test_socket_matches_loopback(self):
+        sc = self._scenario()
+
+        async def run():
+            server = BlockServer(sc.block, CFG)
+            port = await server.start()
+            try:
+                return await fetch_block("127.0.0.1", port,
+                                         sc.receiver_mempool, CFG)
+            finally:
+                await server.close()
+
+        result = asyncio.run(run())
+        assert result.success and result.protocol_used == 3
+
+        loop = _relay(self._scenario())
+        assert json.dumps(result.cost.as_dict(), sort_keys=True) \
+            == json.dumps(loop.cost.as_dict(), sort_keys=True)
+        assert json.dumps([e.as_dict() for e in result.events]) \
+            == json.dumps([e.as_dict() for e in loop.events])
+
+    def test_simulator_matches_loopback(self):
+        sc = self._scenario()
+        sim = Simulator()
+        a = Node("a", sim, config=CFG)
+        b = Node("b", sim, config=CFG)
+        a.connect(b, Link(latency=0.01, bandwidth=10_000_000))
+        a.mempool.add_many(sc.block.txs)
+        b.mempool.add_many(sc.receiver_mempool.transactions())
+        a.mine_block(sc.block)
+        sim.run()
+        root = sc.block.header.merkle_root
+        assert root in b.blocks
+        assert b.blocks[root].txids == sc.block.txids
+
+        sim_cost = CostBreakdown.from_events(b.relay_telemetry[root])
+        loop = _relay(self._scenario())
+        assert json.dumps(sim_cost.as_dict(), sort_keys=True) \
+            == json.dumps(loop.cost.as_dict(), sort_keys=True)
+
+
+class TestRecoveryLadder:
+    """A stalled stream is a timeout; re-serving is byte-stable."""
+
+    def test_dropped_continuation_is_retransmitted(self):
+        sc = make_block_scenario(n=150, extra=150, fraction=0.9, seed=17)
+
+        async def run():
+            server = BlockServer(sc.block, CFG,
+                                 drop={"graphene_p3_request": 1})
+            port = await server.start()
+            try:
+                return await fetch_block(
+                    "127.0.0.1", port, sc.receiver_mempool, CFG,
+                    policy=RecoveryPolicy(**FAST))
+            finally:
+                await server.close()
+
+        result = asyncio.run(run())
+        assert result.success and not result.escalated
+        assert result.timeouts == 1 and result.retries == 1
+        assert result.block.txids == sc.block.txids
+        outcomes = [e.outcome for e in result.events]
+        assert "timeout" in outcomes and "retry" in outcomes
+
+    def test_blackholed_stream_escalates_to_full_block(self):
+        sc = make_block_scenario(n=120, extra=120, fraction=0.9, seed=18)
+
+        async def run():
+            server = BlockServer(sc.block, CFG,
+                                 drop={"graphene_p3_request": 10 ** 9})
+            port = await server.start()
+            try:
+                return await fetch_block(
+                    "127.0.0.1", port, sc.receiver_mempool, CFG,
+                    policy=RecoveryPolicy(max_retries=1, **FAST))
+            finally:
+                await server.close()
+
+        result = asyncio.run(run())
+        assert result.success and result.escalated
+        assert result.via_fullblock
+        assert result.block.txids == sc.block.txids
+
+
+class TestHostileStreams:
+    """Malformed streams end in clean failure, never a wrong block."""
+
+    def _pair(self, seed=23):
+        sc = make_block_scenario(n=100, extra=100, fraction=0.5,
+                                 seed=seed)
+        sender = GrapheneSenderEngine(sc.block, CFG)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool, CFG)
+        opening = sender.handle("getdata", receiver.start().message)
+        return sc, sender, receiver, opening
+
+    def test_desynchronized_batch_rejected(self):
+        _, sender, receiver, opening = self._pair()
+        action = receiver.handle(opening.command, opening.message)
+        assert receiver.phase is ReceiverPhase.WAIT_P3_SYMBOLS, \
+            "scenario must need a continuation round"
+        from repro.codec import decode_protocol3_request, \
+            encode_protocol3_request
+
+        start, count, _ = decode_protocol3_request(action.message)
+        stale = sender.handle("graphene_p3_request",
+                              encode_protocol3_request(start + 1, count))
+        with pytest.raises(ParameterError):
+            receiver.handle("graphene_p3_symbols", stale.message)
+
+    def test_zeroed_stream_fails_not_wrong_block(self):
+        """All-zero symbols claim 'nothing differs'; the n-consistency
+        guard must turn that into FAILED, not a silently wrong block."""
+        sc, sender, receiver, opening = self._pair(seed=29)
+        from repro.codec import encode_protocol3_payload
+        from repro.core.protocol3 import build_protocol3
+
+        payload, _ = build_protocol3(list(sc.block.txs),
+                                     len(sc.receiver_mempool), CFG)
+        zeros = SymbolBatch(start=0,
+                            counts=[0] * len(payload.symbols),
+                            key_sums=[0] * len(payload.symbols),
+                            check_sums=[0] * len(payload.symbols))
+        forged = type(payload)(n=payload.n, bloom_s=payload.bloom_s,
+                               symbols=zeros, recover=payload.recover,
+                               plan=payload.plan,
+                               prefilled=payload.prefilled)
+        blob = sc.block.header.serialize() \
+            + encode_protocol3_payload(forged)
+        action = receiver.handle("graphene_p3_block", blob)
+        # Either the guard fires immediately (FAILED) or the receiver
+        # asks for more symbols -- it must never return DONE.
+        assert action.kind is not ActionKind.DONE
+
+    def test_stream_cap_bounds_hostile_exchange(self):
+        """A sender that never lets the decode finish cannot drag the
+        receiver past its symbol cap."""
+        sc = make_block_scenario(n=60, extra=60, fraction=0.5, seed=5)
+        receiver = GrapheneReceiverEngine(sc.receiver_mempool, CFG)
+        sender = GrapheneSenderEngine(sc.block, CFG)
+        opening = sender.handle("getdata", receiver.start().message)
+        action = receiver.handle(opening.command, opening.message)
+        assert action.command == "graphene_p3_request", \
+            "scenario must need a continuation round"
+        steps = 0
+        from repro.codec import decode_protocol3_request
+
+        while action.kind is ActionKind.SEND \
+                and action.command == "graphene_p3_request":
+            steps += 1
+            assert steps < 200, "receiver never gave up"
+            start, count, _ = decode_protocol3_request(action.message)
+            garbage = SymbolBatch(
+                start=start,
+                counts=[7] * count,
+                key_sums=[0xDEAD] * count,
+                check_sums=[1] * count)
+            from repro.codec import encode_symbol_batch
+
+            try:
+                action = receiver.handle("graphene_p3_symbols",
+                                         encode_symbol_batch(garbage))
+            except (ParameterError, ProtocolFailure):
+                return  # rejected outright: also a clean ending
+        assert action.kind is ActionKind.FAILED
+
+    def test_sender_refuses_window_beyond_cap(self):
+        sc = make_block_scenario(n=30, extra=0, fraction=1.0, seed=1)
+        sender = GrapheneSenderEngine(sc.block, CFG)
+        from repro.codec import encode_protocol3_request
+
+        cap = sender_stream_cap(30)
+        with pytest.raises(ParameterError):
+            sender.handle("graphene_p3_request",
+                          encode_protocol3_request(cap, 100))
+
+
+class TestBatchSizing:
+    def test_first_batch_floor(self):
+        assert first_batch_size(0) >= 4
+        assert first_batch_size(10) >= 14  # ceil(1.35 * 10)
+
+    def test_continuation_grows_geometrically(self):
+        assert next_batch_size(100) == 50
+        assert next_batch_size(2) == 4  # floor
+
+    def test_sender_cap_scales_with_keys(self):
+        assert sender_stream_cap(10) == 1 << 16
+        assert sender_stream_cap(1 << 20) == 32 << 20
